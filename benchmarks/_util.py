@@ -1,0 +1,29 @@
+"""Helpers shared by the benchmark files (importable via the sys.path
+insertion in benchmarks/conftest.py)."""
+
+from __future__ import annotations
+
+from repro import OpenMLDB
+from repro.workloads.microbench import (MicroBenchConfig, build_feature_sql,
+                                        generate)
+
+__all__ = ["build_openmldb", "openmldb_for_config"]
+
+
+def build_openmldb(data, sql, deployment="bench"):
+    """Stand up an OpenMLDB instance loaded with a MicroBench dataset."""
+    db = OpenMLDB()
+    for name, schema in data.schemas.items():
+        db.create_table(name, schema, indexes=data.indexes[name])
+    for name, rows in data.rows.items():
+        db.insert_many(name, rows)
+    db.deploy(deployment, sql)
+    return db
+
+
+def openmldb_for_config(config: MicroBenchConfig, request_count=80):
+    """Generate + load + deploy one MicroBench configuration."""
+    data = generate(config, request_count=request_count)
+    sql = build_feature_sql(config)
+    db = build_openmldb(data, sql)
+    return db, data, sql

@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark suite.
+
+Every file under ``benchmarks/`` regenerates one table or figure of the
+paper's evaluation (Section 9); DESIGN.md carries the experiment index.
+Scales are laptop-sized — the assertions check the *shape* of each result
+(who wins, roughly by what factor), not the paper's absolute numbers.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make `from tests.conftest import ...`-style helpers unnecessary here;
+# benchmarks only need the library itself.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _util import build_openmldb  # noqa: E402
+from repro.workloads.microbench import (MicroBenchConfig, build_feature_sql,
+                                        generate)
+
+
+@pytest.fixture(scope="session")
+def microbench_online():
+    """Mid-scale MicroBench shared by the online figures."""
+    config = MicroBenchConfig(keys=120, rows_per_key=100, windows=2,
+                              joins=1, union_tables=2, value_columns=3,
+                              seed=17)
+    data = generate(config, request_count=160)
+    sql = build_feature_sql(config)
+    db = build_openmldb(data, sql)
+    return config, data, sql, db

@@ -1,0 +1,54 @@
+"""Ablation — compilation cache (Section 4.2).
+
+DESIGN.md calls out the compilation cache as a design choice: repeated
+deployments of the same feature script must skip the parse/plan/compile
+pipeline.  We measure cold compilation vs cache hits.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench import print_table
+from repro.schema import Schema
+from repro.sql.compiler import CompilationCache
+from repro.sql.parser import parse_select
+from repro.workloads.microbench import MicroBenchConfig, build_feature_sql, generate
+
+
+@pytest.mark.benchmark(group="ablation-cache")
+def test_compilation_cache_ablation(benchmark):
+    config = MicroBenchConfig(keys=4, rows_per_key=4, windows=4, joins=2,
+                              value_columns=6)
+    data = generate(config, request_count=1)
+    sql = build_feature_sql(config)
+    statement = parse_select(sql)
+    catalog = dict(data.schemas)
+
+    # Cold: fresh cache every time (full pipeline).
+    started = time.perf_counter()
+    rounds = 30
+    for _ in range(rounds):
+        CompilationCache().get_or_compile(statement, catalog)
+    cold_ms = (time.perf_counter() - started) / rounds * 1_000
+
+    # Warm: one cache, repeated deployments.
+    cache = CompilationCache()
+    cache.get_or_compile(statement, catalog)
+    started = time.perf_counter()
+    for _ in range(rounds):
+        cache.get_or_compile(statement, catalog)
+    warm_ms = (time.perf_counter() - started) / rounds * 1_000
+
+    print_table("Ablation: compilation cache",
+                ["path", "ms per deployment"],
+                [["cold compile", cold_ms],
+                 ["cache hit", warm_ms],
+                 ["speedup", f"{cold_ms / warm_ms:.0f}x"]])
+    assert cache.hits == rounds
+    assert cold_ms / warm_ms > 10
+
+    benchmark.pedantic(cache.get_or_compile, args=(statement, catalog),
+                       rounds=50, iterations=10)

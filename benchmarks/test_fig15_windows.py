@@ -1,0 +1,50 @@
+"""Figure 15 — performance under different window counts.
+
+Paper shape: as the number of windows in the feature script grows,
+request latency rises modestly but stays under ~10 ms; throughput
+declines correspondingly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _util import openmldb_for_config
+from repro.bench import measure_latencies, measure_throughput, print_series
+from repro.workloads.microbench import MicroBenchConfig
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15_window_count_sweep(benchmark):
+    window_counts = [1, 2, 4, 8]
+    latency_ms = []
+    throughput = []
+    for windows in window_counts:
+        config = MicroBenchConfig(keys=40, rows_per_key=60,
+                                  windows=windows, joins=0,
+                                  union_tables=0, value_columns=2,
+                                  seed=21)
+        db, data, _sql = openmldb_for_config(config)
+        stats = measure_latencies(
+            lambda row, db=db: db.request_row("bench", row),
+            data.requests[:60], warmup=15)
+        latency_ms.append(stats.tp50)  # median: outlier-robust
+        throughput.append(measure_throughput(
+            lambda row, db=db: db.request_row("bench", row),
+            data.requests[:60]))
+    print_series("Figure 15: window-count sweep", "#windows",
+                 window_counts, {"TP50 latency ms": latency_ms,
+                                 "ops/s": throughput})
+
+    # Shape: latency grows but stays "under 10 ms"; throughput declines.
+    assert latency_ms == sorted(latency_ms)
+    assert latency_ms[-1] < 10.0
+    assert throughput[-1] < throughput[0]
+    # Modest growth: 8 windows cost about linearly, not super-linearly.
+    assert latency_ms[-1] < 10 * latency_ms[0]
+
+    config = MicroBenchConfig(keys=40, rows_per_key=60, windows=4,
+                              joins=0, union_tables=0, value_columns=2)
+    db, data, _sql = openmldb_for_config(config)
+    benchmark.pedantic(db.request_row, args=("bench", data.requests[0]),
+                       rounds=30, iterations=2)

@@ -1,0 +1,48 @@
+"""Figure 17 — performance under different LAST JOIN counts.
+
+Paper shape: each additional LAST JOIN adds only a small latency
+increment (stays under 5 ms) and throughput remains above ~6 K QPS,
+because every join is a single index lookup on the right table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _util import openmldb_for_config
+from repro.bench import measure_latencies, measure_throughput, print_series
+from repro.workloads.microbench import MicroBenchConfig
+
+
+@pytest.mark.benchmark(group="fig17")
+def test_fig17_join_count_sweep(benchmark):
+    join_counts = [0, 1, 2, 4]
+    latency_ms = []
+    throughput = []
+    for joins in join_counts:
+        config = MicroBenchConfig(keys=40, rows_per_key=50, windows=1,
+                                  joins=joins, union_tables=0,
+                                  value_columns=2, seed=29)
+        db, data, _sql = openmldb_for_config(config)
+        stats = measure_latencies(
+            lambda row, db=db: db.request_row("bench", row),
+            data.requests[:60], warmup=15)
+        latency_ms.append(stats.tp50)  # median: outlier-robust
+        throughput.append(measure_throughput(
+            lambda row, db=db: db.request_row("bench", row),
+            data.requests[:60]))
+    print_series("Figure 17: LAST JOIN sweep", "#joins", join_counts,
+                 {"TP50 latency ms": latency_ms, "ops/s": throughput})
+
+    # Shape: slight latency growth, bounded absolute latency, and the
+    # throughput floor the paper quotes (scaled: >1K QPS in Python).
+    assert latency_ms[-1] > latency_ms[0]
+    assert latency_ms[-1] < 5.0
+    assert latency_ms[-1] < 3 * latency_ms[0]
+    assert min(throughput) > 500
+
+    config = MicroBenchConfig(keys=40, rows_per_key=50, windows=1,
+                              joins=2, union_tables=0, value_columns=2)
+    db, data, _sql = openmldb_for_config(config)
+    benchmark.pedantic(db.request_row, args=("bench", data.requests[0]),
+                       rounds=30, iterations=2)

@@ -1,0 +1,78 @@
+"""Figure 9 — Offline GLQ geospatial queries: OpenMLDB vs Spark.
+
+Paper shape: OpenMLDB's response time stays nearly flat (~30 ms band in
+the paper) while Spark's slowdown grows from ~5× to >22× as the
+hyper-parameter N rises 7→10 — here N sets the route length (2^(N−6)
+waypoints), and each waypoint forces the index-less engine into another
+full scan.  Spark also OOMs on full-table materialisation, which the
+grid engine completes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import measure_latencies, print_series
+from repro.errors import ExecutionError
+from repro.workloads.glq import (GLQConfig, GridGLQEngine, SparkGLQEngine,
+                                 generate_points, route_for_n)
+
+RADIUS = 0.08
+
+
+@pytest.fixture(scope="module")
+def glq_engines():
+    points = list(generate_points(GLQConfig(points=60_000, centres=6,
+                                            spread=0.8)))
+    grid = GridGLQEngine(cell=0.05)
+    spark = SparkGLQEngine()
+    for point in points:
+        grid.insert(point)
+        spark.insert(point)
+    return grid, spark, points
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_glq(benchmark, glq_engines):
+    grid, spark, points = glq_engines
+    ns = [7, 8, 9, 10]
+    routes = {n: [points[i * 37] for i in range(route_for_n(n))]
+              for n in ns}
+
+    # Correctness first: both engines answer the route identically.
+    left = grid.route_query(routes[8], RADIUS)
+    right = spark.route_query(routes[8], RADIUS)
+    assert left.densest_cell_count == right.densest_cell_count
+    assert [w.count for w in left.waypoints] \
+        == [w.count for w in right.waypoints]
+
+    grid_ms = []
+    spark_ms = []
+    for n in ns:
+        route = routes[n]
+        grid_ms.append(measure_latencies(
+            lambda _i, route=route: grid.route_query(route, RADIUS),
+            range(6), warmup=1).mean)
+        spark_ms.append(measure_latencies(
+            lambda _i, route=route: spark.route_query(route, RADIUS),
+            range(4), warmup=1).mean)
+    speedups = [s / g for g, s in zip(grid_ms, spark_ms)]
+    print_series("Figure 9: GLQ route query latency (ms)", "N", ns, {
+        "openmldb": grid_ms, "spark": spark_ms, "speedup": speedups})
+
+    # Shape: widening gap, substantial at N=10, OpenMLDB nearly flat.
+    assert speedups[-1] > speedups[0]
+    assert speedups[-1] > 5
+    assert grid_ms[-1] < grid_ms[0] * 4  # flat-ish vs 8× more waypoints
+
+    # Spark cannot materialise a full-table query; the grid engine can.
+    constrained = SparkGLQEngine(memory_limit_rows=10_000)
+    for point in points:
+        constrained.insert(point)
+    with pytest.raises(ExecutionError, match="OOM"):
+        constrained.query(points[0], radius=1e9)
+    assert grid.query(points[0], radius=1e9).count == len(points)
+
+    benchmark.extra_info["speedups"] = [round(s, 2) for s in speedups]
+    benchmark.pedantic(grid.route_query, args=(routes[10], RADIUS),
+                       rounds=5, iterations=1)

@@ -1,0 +1,50 @@
+"""Table 3 — latency percentiles under growing feature counts.
+
+Paper shape: scaling from 10 columns / 20 features to 1000 columns /
+2100 features raises latency (TP50 0.6 → 11.7 ms) but keeps it within
+tens of milliseconds even at the TP999 tail.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _util import openmldb_for_config
+from repro.bench import measure_latencies, print_table
+from repro.workloads.microbench import MicroBenchConfig
+
+
+@pytest.mark.benchmark(group="tab3")
+def test_tab3_feature_count_sweep(benchmark):
+    # columns → (value_columns, windows): features = windows × columns.
+    cases = [(10, 2), (100, 2), (250, 4)]
+    rows = []
+    tp50s = []
+    for value_columns, windows in cases:
+        config = MicroBenchConfig(keys=20, rows_per_key=30,
+                                  windows=windows, joins=0,
+                                  union_tables=0,
+                                  value_columns=value_columns, seed=31)
+        db, data, _sql = openmldb_for_config(config, request_count=50)
+        features = value_columns * windows
+        stats = measure_latencies(
+            lambda row, db=db: db.request_row("bench", row),
+            data.requests[:40], warmup=5)
+        tp50s.append(stats.tp50)
+        rows.append([value_columns, features, stats.tp50, stats.tp90,
+                     stats.tp95, stats.tp99, stats.tp999])
+    print_table("Table 3: latency (ms) by feature count",
+                ["#-Column", "#-Feature", "TP50", "TP90", "TP95",
+                 "TP99", "TP999"], rows)
+
+    # Shape: latency grows with feature count but stays within tens of
+    # milliseconds at the tail.
+    assert tp50s == sorted(tp50s)
+    assert rows[-1][6] < 100.0  # TP999 bounded
+    assert tp50s[-1] > tp50s[0]
+
+    config = MicroBenchConfig(keys=20, rows_per_key=30, windows=2,
+                              joins=0, union_tables=0, value_columns=100)
+    db, data, _sql = openmldb_for_config(config, request_count=10)
+    benchmark.pedantic(db.request_row, args=("bench", data.requests[0]),
+                       rounds=20, iterations=1)

@@ -1,0 +1,21 @@
+"""Baseline systems re-implemented for the evaluation (Section 9).
+
+Each class keeps the *specific inefficiency* the paper attributes to the
+system it models — interpreted execution, per-request sorting, full
+scans, RPC serialisation, serial stages, full recomputation — inside the
+same runtime as OpenMLDB, so relative comparisons are meaningful.
+"""
+
+from .base import BaselineOnlineEngine, BaselineStats
+from .duckdb import DuckDBEngine
+from .flink import FlinkTopNEngine
+from .greenplum import GreenplumTopNEngine
+from .mysql import MySQLMemoryEngine
+from .spark import SparkBatchEngine, SparkStats
+from .trino_redis import TrinoRedisEngine
+
+__all__ = [
+    "BaselineOnlineEngine", "BaselineStats", "MySQLMemoryEngine",
+    "DuckDBEngine", "TrinoRedisEngine", "FlinkTopNEngine",
+    "GreenplumTopNEngine", "SparkBatchEngine", "SparkStats",
+]

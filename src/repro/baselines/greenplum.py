@@ -1,0 +1,45 @@
+"""GreenPlum-style MPP baseline (Figure 7 RTP comparison).
+
+The paper: "GreenPlum incurs prohibitive recomputations for new data
+tuples".  An MPP warehouse answers a real-time TopN by re-running the
+analytical query — a scan over *all* stored tuples, a group/sort, then
+the rank filter — every time fresh data must be reflected.  This class
+reproduces exactly that: no incremental state, no per-key index, each
+query is a full-table pass.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+__all__ = ["GreenplumTopNEngine"]
+
+
+class GreenplumTopNEngine:
+    """Full-recompute MPP TopN."""
+
+    name = "greenplum"
+
+    def __init__(self) -> None:
+        self._rows: List[Tuple[Any, int, Any, float]] = []
+        self.full_scans = 0
+
+    def insert(self, key: Any, ts: int, item: Any, score: float) -> None:
+        self._rows.append((key, ts, item, score))
+
+    def top_n(self, key: Any, n: int) -> List[Tuple[Any, float]]:
+        """Re-run the ranking query over the entire table."""
+        self.full_scans += 1
+        matched = [(item, score) for row_key, _ts, item, score
+                   in self._rows if row_key == key]
+        matched.sort(key=lambda pair: -pair[1])
+        best: List[Tuple[Any, float]] = []
+        seen = set()
+        for item, score in matched:
+            if item in seen:
+                continue
+            seen.add(item)
+            best.append((item, score))
+            if len(best) >= n:
+                break
+        return best

@@ -1,0 +1,89 @@
+"""Trino+Redis baseline: remote KV storage behind a SQL coordinator.
+
+Models the paper's pairing of Redis (in-memory store) with Trino (ANSI
+SQL engine): feature data lives in Redis hashes keyed by partition key;
+every request makes the coordinator
+
+1. issue an RPC to fetch the key's entries (**serialised** — rows cross
+   the wire as strings, so each request pays real encode/decode work, the
+   honest analogue of network serialisation),
+2. re-sort and aggregate them through interpreted operators spread over
+   multiple exchange stages (tracked as ``rpc_hops``).
+
+The Redis byte accounting (:func:`repro.storage.encoding.redis_row_size`)
+backs the Table 2 memory comparison.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Sequence
+
+from ..schema import Schema
+from ..storage.encoding import redis_row_size
+from .base import BaselineOnlineEngine
+
+__all__ = ["TrinoRedisEngine"]
+
+_HOPS_PER_REQUEST = 3  # client→coordinator, coordinator→redis, exchange
+
+
+class TrinoRedisEngine(BaselineOnlineEngine):
+    """Redis hash store + Trino-style coordinator."""
+
+    name = "trino_redis"
+    # Coordinator-side analysis + plan fragmentation + per-worker
+    # scheduling: several planning passes per query.
+    plans_per_request = 3
+
+    def __init__(self, sql: str, catalog: Mapping[str, Schema]) -> None:
+        super().__init__(sql, catalog)
+        # table → key column → key value → list of serialised rows.
+        self._store: Dict[str, Dict[str, Dict[Any, List[str]]]] = {
+            name: {} for name in catalog}
+        self.memory_bytes = 0
+
+    def load(self, table: str, rows: Iterable[Sequence[Any]]) -> int:
+        schema = self.catalog[table]
+        key_columns = self._key_columns_for(table)
+        count = 0
+        for row in rows:
+            row = tuple(row)
+            payload = json.dumps(row, default=str)
+            for column in key_columns:
+                key_value = row[schema.position(column)]
+                bucket = self._store[table].setdefault(column, {})
+                bucket.setdefault(key_value, []).append(payload)
+            key_bytes = sum(
+                len(str(row[schema.position(column)]))
+                for column in key_columns)
+            self.memory_bytes += redis_row_size(schema, row, key_bytes)
+            count += 1
+        return count
+
+    def _key_columns_for(self, table: str) -> List[str]:
+        columns: List[str] = []
+        for window in self.plan.windows.values():
+            if table == self.plan.table or table in window.union_tables:
+                columns.extend(window.partition_columns)
+        for join in self.plan.joins:
+            if join.right_table == table:
+                columns.extend(column for _expr, column in join.eq_keys)
+        if not columns:
+            columns.append(self.catalog[table].column_names[0])
+        return sorted(set(columns))
+
+    def _rows_for_key(self, table: str, key_column: str,
+                      key_value: Any) -> List[Dict[str, Any]]:
+        """Fetch + deserialise one key's rows (the per-request RPC cost)."""
+        self.stats.rpc_hops += _HOPS_PER_REQUEST
+        bucket = self._store[table].get(key_column, {})
+        payloads = bucket.get(key_value, ())
+        names = self.catalog[table].column_names
+        rows: List[Dict[str, Any]] = []
+        for payload in payloads:
+            self.stats.bytes_moved += len(payload)
+            values = json.loads(payload)
+            rows.append(dict(zip(names, values)))
+        self.stats.rows_scanned += len(rows)
+        return rows

@@ -1,0 +1,9 @@
+"""Benchmark harness utilities (percentiles, throughput, printing)."""
+
+from .harness import (LatencyStats, measure_latencies, measure_throughput,
+                      print_series, print_table, speedup)
+
+__all__ = [
+    "LatencyStats", "measure_latencies", "measure_throughput",
+    "print_table", "print_series", "speedup",
+]

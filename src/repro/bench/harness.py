@@ -1,0 +1,131 @@
+"""Benchmark harness: latency percentiles, throughput, table printing.
+
+Shared by every file under ``benchmarks/``.  Latency reporting follows
+the paper's tail-percentile convention (Table 3: TP50/TP90/TP95/TP99/
+TP999); tables and series print in the same row/series shapes the paper's
+figures use, so a bench run reads like the corresponding figure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import time
+from typing import Any, Callable, Dict, Iterable, List, Sequence
+
+__all__ = ["LatencyStats", "measure_latencies", "measure_throughput",
+           "print_table", "print_series", "speedup"]
+
+_PERCENTILES = (50, 90, 95, 99, 99.9)
+
+
+@dataclasses.dataclass
+class LatencyStats:
+    """Latency percentile summary (milliseconds)."""
+
+    samples: int
+    tp50: float
+    tp90: float
+    tp95: float
+    tp99: float
+    tp999: float
+    mean: float
+
+    @classmethod
+    def from_seconds(cls, seconds: Sequence[float]) -> "LatencyStats":
+        if not seconds:
+            raise ValueError("no samples")
+        millis = sorted(value * 1_000 for value in seconds)
+
+        def percentile(p: float) -> float:
+            rank = max(math.ceil(p / 100 * len(millis)) - 1, 0)
+            return millis[rank]
+
+        return cls(
+            samples=len(millis),
+            tp50=percentile(50), tp90=percentile(90),
+            tp95=percentile(95), tp99=percentile(99),
+            tp999=percentile(99.9),
+            mean=sum(millis) / len(millis))
+
+    def row(self) -> Dict[str, float]:
+        return {"TP50": self.tp50, "TP90": self.tp90, "TP95": self.tp95,
+                "TP99": self.tp99, "TP999": self.tp999}
+
+
+def measure_latencies(operation: Callable[[Any], Any],
+                      inputs: Iterable[Any],
+                      warmup: int = 5) -> LatencyStats:
+    """Time ``operation`` per input; returns percentile stats.
+
+    The first ``warmup`` calls are executed but not recorded (cache
+    warm-up, matching how serving benchmarks are run).
+    """
+    items = list(inputs)
+    clock = time.perf_counter
+    seconds: List[float] = []
+    for index, item in enumerate(items):
+        started = clock()
+        operation(item)
+        elapsed = clock() - started
+        if index >= warmup:
+            seconds.append(elapsed)
+    if not seconds:  # fewer inputs than warmup
+        raise ValueError("need more inputs than warmup iterations")
+    return LatencyStats.from_seconds(seconds)
+
+
+def measure_throughput(operation: Callable[[Any], Any],
+                       inputs: Iterable[Any]) -> float:
+    """Operations per second over the full input stream."""
+    items = list(inputs)
+    started = time.perf_counter()
+    for item in items:
+        operation(item)
+    elapsed = time.perf_counter() - started
+    if elapsed <= 0:
+        return float("inf")
+    return len(items) / elapsed
+
+
+def speedup(baseline_seconds: float, optimized_seconds: float) -> float:
+    """baseline / optimized, guarded against zero."""
+    if optimized_seconds <= 0:
+        return float("inf")
+    return baseline_seconds / optimized_seconds
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Sequence[Sequence[Any]]) -> None:
+    """Print an aligned table in the paper's row shape."""
+    widths = [len(str(header)) for header in headers]
+    rendered = [[_fmt(cell) for cell in row] for row in rows]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    print(f"\n== {title} ==")
+    print(" | ".join(str(header).ljust(width)
+                     for header, width in zip(headers, widths)))
+    print("-+-".join("-" * width for width in widths))
+    for row in rendered:
+        print(" | ".join(cell.ljust(width)
+                         for cell, width in zip(row, widths)))
+
+
+def print_series(title: str, x_label: str, xs: Sequence[Any],
+                 series: Dict[str, Sequence[Any]]) -> None:
+    """Print figure-style series: one row per x, one column per system."""
+    headers = [x_label, *series.keys()]
+    rows = [[x, *(values[index] for values in series.values())]
+            for index, x in enumerate(xs)]
+    print_table(title, headers, rows)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) < 0.01 or abs(value) >= 1e6):
+            return f"{value:.3e}"
+        return f"{value:,.3f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)

@@ -1,0 +1,6 @@
+"""Simulated cluster: tablet servers + nameserver coordination."""
+
+from .nameserver import ClusterTable, NameServer
+from .tablet import Shard, TabletServer
+
+__all__ = ["TabletServer", "Shard", "NameServer", "ClusterTable"]

@@ -1,0 +1,190 @@
+"""Nameserver: shard placement, leadership, and failover coordination.
+
+Stands in for OpenMLDB's nameserver + ZooKeeper pair (Section 3.1's
+high-availability layer).  Responsibilities:
+
+* **placement** — assign each table partition's replica group across
+  tablets (round-robin, leader on the first replica);
+* **routing** — hash a partition key to its partition and return the
+  current leader (writes) or any live replica (reads);
+* **failover** — on a tablet failure, promote a live follower of every
+  shard the dead tablet led (the ZooKeeper-watch behaviour, collapsed to
+  an explicit :meth:`handle_failure` call in the simulation).
+
+Writes replicate synchronously to all live replicas with a shared,
+monotonically increasing offset per partition, so a promoted follower is
+always as complete as the acknowledged writes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import StorageError
+from ..schema import IndexDef, Row, Schema
+from .tablet import TabletServer
+
+__all__ = ["ClusterTable", "NameServer"]
+
+
+@dataclasses.dataclass
+class ClusterTable:
+    """Placement metadata for one distributed table."""
+
+    name: str
+    schema: Schema
+    indexes: Tuple[IndexDef, ...]
+    partitions: int
+    replicas: int
+    # partition id → ordered tablet names (first = initial leader)
+    assignment: Dict[int, List[str]]
+    next_offset: Dict[int, int]
+
+
+class NameServer:
+    """Coordinates a set of tablet servers."""
+
+    def __init__(self, tablets: Sequence[TabletServer]) -> None:
+        if not tablets:
+            raise StorageError("cluster needs at least one tablet")
+        self.tablets: Dict[str, TabletServer] = {
+            tablet.name: tablet for tablet in tablets}
+        self.tables: Dict[str, ClusterTable] = {}
+        self.failovers = 0
+
+    # ------------------------------------------------------------------
+    # DDL / placement
+
+    def create_table(self, name: str, schema: Schema,
+                     indexes: Sequence[IndexDef], partitions: int = 4,
+                     replicas: int = 2) -> ClusterTable:
+        if name in self.tables:
+            raise StorageError(f"cluster table {name!r} already exists")
+        if replicas > len(self.tablets):
+            raise StorageError(
+                f"replicas={replicas} exceeds tablet count "
+                f"{len(self.tablets)}")
+        tablet_names = list(self.tablets)
+        assignment: Dict[int, List[str]] = {}
+        for partition_id in range(partitions):
+            chosen = [tablet_names[(partition_id + replica)
+                                   % len(tablet_names)]
+                      for replica in range(replicas)]
+            assignment[partition_id] = chosen
+            for position, tablet_name in enumerate(chosen):
+                self.tablets[tablet_name].host_shard(
+                    name, partition_id, schema, indexes,
+                    is_leader=(position == 0))
+        table = ClusterTable(name=name, schema=schema,
+                             indexes=tuple(indexes), partitions=partitions,
+                             replicas=replicas, assignment=assignment,
+                             next_offset={p: 0 for p in range(partitions)})
+        self.tables[name] = table
+        return table
+
+    # ------------------------------------------------------------------
+    # routing
+
+    def partition_for(self, table_name: str, key_value: Any) -> int:
+        table = self._table(table_name)
+        return hash(key_value) % table.partitions
+
+    def leader_of(self, table_name: str,
+                  partition_id: int) -> TabletServer:
+        table = self._table(table_name)
+        for tablet_name in table.assignment[partition_id]:
+            tablet = self.tablets[tablet_name]
+            if tablet.alive and tablet.shard(table_name,
+                                             partition_id).is_leader:
+                return tablet
+        raise StorageError(
+            f"no live leader for {table_name}[{partition_id}]; "
+            "run handle_failure() to elect one")
+
+    def live_replica(self, table_name: str,
+                     partition_id: int) -> TabletServer:
+        table = self._table(table_name)
+        for tablet_name in table.assignment[partition_id]:
+            tablet = self.tablets[tablet_name]
+            if tablet.alive:
+                return tablet
+        raise StorageError(
+            f"all replicas of {table_name}[{partition_id}] are down")
+
+    def _table(self, name: str) -> ClusterTable:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise StorageError(f"unknown cluster table {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # data path
+
+    def put(self, table_name: str, row: Row,
+            key_column: Optional[str] = None) -> int:
+        """Write one row through the partition leader, replicating it.
+
+        The partition key defaults to the first index's first key column.
+        Returns the partition-local offset.
+        """
+        table = self._table(table_name)
+        column = key_column or table.indexes[0].key_columns[0]
+        key_value = row[table.schema.position(column)]
+        partition_id = self.partition_for(table_name, key_value)
+        offset = table.next_offset[partition_id]
+        leader = self.leader_of(table_name, partition_id)
+        leader.write(table_name, partition_id, row, offset)
+        for tablet_name in table.assignment[partition_id]:
+            tablet = self.tablets[tablet_name]
+            if tablet is leader or not tablet.alive:
+                continue
+            tablet.write(table_name, partition_id, row, offset)
+        table.next_offset[partition_id] = offset + 1
+        return offset
+
+    def get_latest(self, table_name: str, key_value: Any,
+                   keys: Optional[Sequence[str]] = None
+                   ) -> Optional[Tuple[int, Row]]:
+        """Read the newest row for a key from any live replica."""
+        table = self._table(table_name)
+        key_columns = tuple(keys) if keys else table.indexes[0].key_columns
+        partition_id = self.partition_for(table_name, key_value)
+        replica = self.live_replica(table_name, partition_id)
+        return replica.read_latest(table_name, partition_id, key_columns,
+                                   key_value)
+
+    # ------------------------------------------------------------------
+    # failover
+
+    def handle_failure(self, tablet_name: str) -> int:
+        """Promote followers for every shard the failed tablet led.
+
+        Returns the number of leadership transfers (the simulation's
+        analogue of ZooKeeper watches firing).
+        """
+        failed = self.tablets[tablet_name]
+        failed.fail()
+        transfers = 0
+        for table in self.tables.values():
+            for partition_id, tablet_names in table.assignment.items():
+                if tablet_name not in tablet_names:
+                    continue
+                shard = failed.shard(table.name, partition_id)
+                if not shard.is_leader:
+                    continue
+                shard.is_leader = False
+                # Promote the most caught-up live follower.
+                candidates = [
+                    self.tablets[other] for other in tablet_names
+                    if other != tablet_name and self.tablets[other].alive
+                ]
+                if not candidates:
+                    continue
+                best = max(candidates,
+                           key=lambda tablet: tablet.shard(
+                               table.name, partition_id).applied_offset)
+                best.promote(table.name, partition_id)
+                transfers += 1
+        self.failovers += transfers
+        return transfers

@@ -1,0 +1,129 @@
+"""Tablet servers: the storage/serving nodes of the simulated cluster.
+
+Production OpenMLDB shards each table into partitions hosted by tablet
+servers, with per-partition replica groups; ZooKeeper coordinates
+membership and the nameserver assigns leadership.  This in-process
+simulation keeps the same structure — shards, replicas, leader/follower
+roles, heartbeat liveness, per-tablet memory governance — so cluster
+behaviours (failover, replica reads, memory isolation per Section 8.2)
+are testable without a network.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import Any, Dict, Iterator, Optional, Sequence, Tuple
+
+from ..errors import StorageError
+from ..memory.governor import MemoryGovernor
+from ..schema import IndexDef, Row, Schema
+from ..storage.memtable import MemTable
+
+__all__ = ["Shard", "TabletServer"]
+
+
+@dataclasses.dataclass
+class Shard:
+    """One partition replica of a table hosted on a tablet.
+
+    ``is_leader`` marks the replica accepting writes; followers apply
+    replicated rows and serve reads.
+    """
+
+    table: str
+    partition_id: int
+    store: MemTable
+    is_leader: bool = False
+    applied_offset: int = -1
+
+
+class TabletServer:
+    """One simulated tablet server.
+
+    Args:
+        name: tablet id (e.g. ``"tablet-0"``).
+        max_memory_mb: per-tablet write limit (Section 8.2).
+    """
+
+    def __init__(self, name: str,
+                 max_memory_mb: Optional[int] = None) -> None:
+        self.name = name
+        self.governor = MemoryGovernor(name, max_memory_mb=max_memory_mb)
+        self._shards: Dict[Tuple[str, int], Shard] = {}
+        self._lock = threading.Lock()
+        self.alive = True
+
+    # ------------------------------------------------------------------
+
+    def host_shard(self, table: str, partition_id: int, schema: Schema,
+                   indexes: Sequence[IndexDef],
+                   is_leader: bool) -> Shard:
+        key = (table, partition_id)
+        with self._lock:
+            if key in self._shards:
+                raise StorageError(
+                    f"{self.name} already hosts {table}[{partition_id}]")
+            shard = Shard(
+                table=table, partition_id=partition_id,
+                store=MemTable(f"{table}#{partition_id}@{self.name}",
+                               schema, indexes),
+                is_leader=is_leader)
+            self._shards[key] = shard
+            return shard
+
+    def shard(self, table: str, partition_id: int) -> Shard:
+        try:
+            return self._shards[(table, partition_id)]
+        except KeyError:
+            raise StorageError(
+                f"{self.name} does not host {table}[{partition_id}]"
+            ) from None
+
+    def has_shard(self, table: str, partition_id: int) -> bool:
+        return (table, partition_id) in self._shards
+
+    def shards(self) -> Iterator[Shard]:
+        return iter(list(self._shards.values()))
+
+    # ------------------------------------------------------------------
+
+    def write(self, table: str, partition_id: int, row: Row,
+              offset: int) -> None:
+        """Apply one row to a hosted shard (leader write or replication).
+
+        Raises:
+            StorageError: if the tablet is down.
+            MemoryLimitExceededError: past the tablet's memory limit
+                (reads keep working — the isolation contract).
+        """
+        if not self.alive:
+            raise StorageError(f"{self.name} is down")
+        shard = self.shard(table, partition_id)
+        self.governor.charge(shard.store.codec.encoded_size(
+            shard.store.schema.validate_row(row)))
+        shard.store.insert(row)
+        shard.applied_offset = offset
+
+    def read_latest(self, table: str, partition_id: int,
+                    keys: Sequence[str], key_value: Any
+                    ) -> Optional[Tuple[int, Row]]:
+        if not self.alive:
+            raise StorageError(f"{self.name} is down")
+        return self.shard(table, partition_id).store.last_join_lookup(
+            keys, key_value)
+
+    # ------------------------------------------------------------------
+
+    def fail(self) -> None:
+        """Simulate a crash: the tablet stops serving."""
+        self.alive = False
+
+    def recover(self) -> None:
+        self.alive = True
+
+    def promote(self, table: str, partition_id: int) -> None:
+        self.shard(table, partition_id).is_leader = True
+
+    def demote(self, table: str, partition_id: int) -> None:
+        self.shard(table, partition_id).is_leader = False

@@ -1,0 +1,11 @@
+"""Core: the OpenMLDB session facade, deployments, and consistency."""
+
+from .consistency import ConsistencyReport, Mismatch, verify_consistency
+from .database import OpenMLDB
+from .deployment import Deployment
+from .modes import ExecutionMode, PreviewConstraints
+
+__all__ = [
+    "OpenMLDB", "Deployment", "ExecutionMode", "PreviewConstraints",
+    "verify_consistency", "ConsistencyReport", "Mismatch",
+]

@@ -1,0 +1,409 @@
+"""The OpenMLDB session facade: tables, SQL, deployments, execution modes.
+
+:class:`OpenMLDB` ties every subsystem together the way the paper's
+architecture diagram (Figure 2) does:
+
+* DDL/DML — ``CREATE TABLE`` (with stream indexes + TTL), ``INSERT``;
+* the **unified plan generator** — one parser/planner/compiler (with the
+  compilation cache) feeding both engines;
+* **online request mode** — ``deploy()`` then ``request()``, with optional
+  long-window pre-aggregation maintained through the binlog replicator;
+* **offline mode** — ``offline_query()`` batch execution with
+  multi-window parallelism and skew resolving;
+* **online preview mode** — ``preview()`` with complexity constraints and
+  a result cache;
+* memory governance — an optional per-database
+  :class:`~repro.memory.governor.MemoryGovernor` making writes fail (but
+  not reads) past ``max_memory_mb``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import (Any, Callable, Dict, List, Optional, Sequence,
+                    Tuple, Union)
+
+from ..errors import (DeploymentError, DeploymentNotFoundError, ParseError,
+                      PlanError, SchemaError, TableExistsError,
+                      TableNotFoundError)
+from ..schema import Column, IndexDef, Row, Schema, TTLKind, TTLSpec
+from ..sql import ast
+from ..sql.compiler import CompilationCache
+from ..sql.parser import parse
+from ..sql.planner import build_plan
+from ..storage.disk import DiskTable
+from ..storage.memtable import MemTable
+from ..online.binlog import Replicator
+from ..online.engine import OnlineEngine
+from ..offline.engine import OfflineEngine, OfflineStats
+from ..offline.skew import SkewConfig
+from ..memory.governor import MemoryGovernor
+from ..types import ColumnType
+from .deployment import Deployment
+from .modes import PreviewConstraints
+
+__all__ = ["OpenMLDB"]
+
+_INTERVAL_UNITS_MS = {"s": 1_000, "m": 60_000, "h": 3_600_000,
+                      "d": 86_400_000}
+
+
+class OpenMLDB:
+    """An embedded OpenMLDB instance.
+
+    Args:
+        offline_workers: simulated cluster width for batch execution.
+        max_memory_mb: optional write limit (Section 8.2 isolation).
+        seed: storage-structure RNG seed, for reproducible layouts.
+    """
+
+    def __init__(self, offline_workers: int = 8,
+                 max_memory_mb: Optional[int] = None,
+                 seed: int = 0) -> None:
+        self.tables: Dict[str, Union[MemTable, DiskTable]] = {}
+        self.replicator = Replicator()
+        self.compile_cache = CompilationCache()
+        self.deployments: Dict[str, Deployment] = {}
+        self.online_engine = OnlineEngine(self.tables)
+        self.offline_engine = OfflineEngine(self.tables,
+                                            workers=offline_workers)
+        self.governor = MemoryGovernor("db", max_memory_mb=max_memory_mb)
+        self._updaters: Dict[str, List[Callable]] = {}
+        self._preview_cache: Dict[Tuple[str, int], List[Row]] = {}
+        self._seed = seed
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # catalog / DDL
+
+    def create_table(self, name: str, schema: Schema,
+                     indexes: Optional[Sequence[IndexDef]] = None,
+                     storage: str = "memory", replicas: int = 1,
+                     flush_threshold: int = 4096
+                     ) -> Union[MemTable, DiskTable]:
+        """Create a table with stream indexes.
+
+        With no explicit index, a default one is derived: the first
+        string/int column as key, the first timestamp column as ts —
+        mirroring OpenMLDB's automatic index creation.
+        """
+        if name in self.tables:
+            raise TableExistsError(name)
+        if indexes is None:
+            indexes = [self._default_index(schema)]
+        if storage == "memory":
+            table: Union[MemTable, DiskTable] = MemTable(
+                name, schema, indexes, replicas=replicas, seed=self._seed)
+        elif storage == "disk":
+            table = DiskTable(name, schema, indexes, replicas=replicas,
+                              flush_threshold=flush_threshold,
+                              seed=self._seed)
+        else:
+            raise SchemaError(f"unknown storage engine {storage!r}")
+        self.tables[name] = table
+        return table
+
+    @staticmethod
+    def _default_index(schema: Schema) -> IndexDef:
+        key_column: Optional[str] = None
+        ts_column: Optional[str] = None
+        for column in schema:
+            if key_column is None and column.type in (
+                    ColumnType.STRING, ColumnType.INT, ColumnType.BIGINT):
+                key_column = column.name
+            if ts_column is None and column.type is ColumnType.TIMESTAMP:
+                ts_column = column.name
+        if key_column is None or ts_column is None:
+            raise SchemaError(
+                "cannot derive a default index: need a key-typed column "
+                "and a timestamp column, or pass indexes= explicitly")
+        return IndexDef(key_columns=(key_column,), ts_column=ts_column)
+
+    def table(self, name: str) -> Union[MemTable, DiskTable]:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise TableNotFoundError(name) from None
+
+    def catalog(self) -> Dict[str, Schema]:
+        return {name: table.schema for name, table in self.tables.items()}
+
+    # ------------------------------------------------------------------
+    # DML
+
+    def insert(self, table_name: str, row: Sequence[Any]) -> int:
+        """Insert one row: storage, memory accounting, binlog, updaters."""
+        table = self.table(table_name)
+        validated = table.schema.validate_row(row)
+        self.governor.charge(table.codec.encoded_size(validated)
+                             if isinstance(table, MemTable)
+                             else _approx_row_bytes(validated))
+        offset = table.insert(validated)
+        updaters = self._updaters.get(table_name)
+        closure = None
+        if updaters:
+            def closure(entry, fns=tuple(updaters)):
+                for fn in fns:
+                    fn(entry)
+        self.replicator.append_entry(table_name, validated, closure=closure)
+        return offset
+
+    def insert_many(self, table_name: str,
+                    rows: Sequence[Sequence[Any]]) -> int:
+        for row in rows:
+            self.insert(table_name, row)
+        return len(rows)
+
+    def _register_updater(self, table_name: str,
+                          update_closure: Callable) -> None:
+        self._updaters.setdefault(table_name, []).append(update_closure)
+
+    # ------------------------------------------------------------------
+    # unified SQL entry point
+
+    def execute(self, sql: str) -> Any:
+        """Execute one SQL statement (offline-mode semantics for SELECT).
+
+        Returns:
+            ``CREATE TABLE`` → the table; ``INSERT`` → rows inserted;
+            ``SELECT`` → list of feature rows; ``DEPLOY`` → the Deployment.
+        """
+        statement = parse(sql)
+        if isinstance(statement, ast.CreateTableStatement):
+            return self._execute_create(statement)
+        if isinstance(statement, ast.InsertStatement):
+            return self.insert_many(statement.table, statement.rows)
+        if isinstance(statement, ast.SelectStatement):
+            rows, _stats = self.offline_query_statement(statement)
+            return rows
+        if isinstance(statement, ast.DeployStatement):
+            return self._execute_deploy(statement, sql)
+        raise ParseError(f"unsupported statement: {type(statement).__name__}")
+
+    def _execute_create(self, statement: ast.CreateTableStatement):
+        columns = [Column(c.name, ColumnType.from_sql_name(c.type_name),
+                          nullable=c.nullable)
+                   for c in statement.columns]
+        schema = Schema(columns)
+        indexes = [self._index_from_clause(clause)
+                   for clause in statement.indexes] or None
+        return self.create_table(statement.name, schema, indexes=indexes)
+
+    @staticmethod
+    def _index_from_clause(clause: ast.IndexClause) -> IndexDef:
+        ttl = TTLSpec()
+        if clause.ttl_value is not None:
+            kind = TTLKind(clause.ttl_type.lower()) if clause.ttl_type \
+                else TTLKind.ABSOLUTE
+            text = clause.ttl_value.strip()
+            abs_ms = 0
+            lat = 0
+            if text and text[-1].lower() in _INTERVAL_UNITS_MS:
+                abs_ms = int(text[:-1]) * _INTERVAL_UNITS_MS[text[-1].lower()]
+            elif text.isdigit():
+                value = int(text)
+                if kind in (TTLKind.LATEST,):
+                    lat = value
+                else:
+                    abs_ms = value * 60_000  # bare numbers are minutes
+            ttl = TTLSpec(kind=kind, abs_ttl_ms=abs_ms, lat_ttl=lat)
+        return IndexDef(key_columns=clause.key_columns,
+                        ts_column=clause.ts_column, ttl=ttl)
+
+    # ------------------------------------------------------------------
+    # deployments / online request mode
+
+    def deploy(self, name: str, sql: str,
+               long_windows: Optional[str] = None,
+               preagg_levels: int = 2) -> Deployment:
+        """Compile and deploy a feature script for online serving.
+
+        ``long_windows`` takes the same string as the SQL OPTIONS form,
+        e.g. ``"w1:1d"`` (Figure 11).
+        """
+        statement = parse(sql)
+        if isinstance(statement, ast.DeployStatement):
+            deploy_statement = statement
+            if long_windows is not None:
+                options = tuple(statement.options) + (
+                    ("long_windows", long_windows),)
+                deploy_statement = ast.DeployStatement(
+                    name=statement.name, select=statement.select,
+                    options=options)
+        elif isinstance(statement, ast.SelectStatement):
+            options = (("long_windows", long_windows),) if long_windows \
+                else ()
+            deploy_statement = ast.DeployStatement(
+                name=name, select=statement, options=options)
+        else:
+            raise DeploymentError("deploy() expects a SELECT or DEPLOY")
+        return self._execute_deploy(deploy_statement, sql)
+
+    def _execute_deploy(self, statement: ast.DeployStatement,
+                        sql: str) -> Deployment:
+        if statement.name in self.deployments:
+            raise DeploymentError(
+                f"deployment {statement.name!r} already exists")
+        compiled = self.compile_cache.get_or_compile(
+            statement.select, self.catalog())
+        # Section 4.2's index optimisation: reject at deploy time any
+        # window/join the declared indexes cannot serve.
+        from ..sql.optimizer import index_access_paths
+        index_access_paths(compiled.plan, {
+            name: list(table.indexes)
+            for name, table in self.tables.items()})
+        deployment = Deployment.from_statement(statement, sql, compiled)
+        deployment.initialize_preagg(self.tables, self._register_updater)
+        self.deployments[statement.name] = deployment
+        return deployment
+
+    def undeploy(self, name: str) -> None:
+        if name not in self.deployments:
+            raise DeploymentNotFoundError(name)
+        del self.deployments[name]
+
+    def request(self, deployment_name: str,
+                row: Sequence[Any]) -> Dict[str, Any]:
+        """Online request mode: one tuple in, one feature dict out."""
+        return dict(zip(self._deployment(deployment_name)
+                        .compiled.output_names,
+                        self.request_row(deployment_name, row)))
+
+    def request_row(self, deployment_name: str,
+                    row: Sequence[Any]) -> Row:
+        """Like :meth:`request`, returning the raw feature tuple."""
+        deployment = self._deployment(deployment_name)
+        return self.online_engine.execute_request(
+            deployment.compiled, row,
+            preagg=deployment.preaggs if deployment.uses_preagg else None)
+
+    def _deployment(self, name: str) -> Deployment:
+        try:
+            return self.deployments[name]
+        except KeyError:
+            raise DeploymentNotFoundError(name) from None
+
+    def flush_preagg(self, timeout: float = 10.0) -> None:
+        """Drain asynchronous aggregator updates (determinism for tests)."""
+        self.replicator.wait_idle(timeout=timeout)
+        self.replicator.check()
+
+    def explain(self, sql: str, optimized: bool = True) -> str:
+        """EXPLAIN: render the operator tree for a SELECT.
+
+        With ``optimized=True`` the multi-window parallel rewrite
+        (Section 6.1) is applied, showing the ConcatJoin/SimpleProject
+        segment the offline engine exploits.
+        """
+        from ..sql.optimizer import explain_optimized
+        statement = parse(sql)
+        if not isinstance(statement, ast.SelectStatement):
+            raise ParseError("explain expects a SELECT")
+        plan = build_plan(statement, self.catalog())
+        return explain_optimized(plan) if optimized else plan.explain()
+
+    # ------------------------------------------------------------------
+    # offline mode
+
+    def offline_query(self, sql: str, parallel_windows: bool = True,
+                      skew: Optional[SkewConfig] = None
+                      ) -> Tuple[List[Row], OfflineStats]:
+        statement = parse(sql)
+        if not isinstance(statement, ast.SelectStatement):
+            raise ParseError("offline_query expects a SELECT")
+        return self.offline_query_statement(
+            statement, parallel_windows=parallel_windows, skew=skew)
+
+    def offline_query_statement(self, statement: ast.SelectStatement,
+                                parallel_windows: bool = True,
+                                skew: Optional[SkewConfig] = None
+                                ) -> Tuple[List[Row], OfflineStats]:
+        compiled = self.compile_cache.get_or_compile(
+            statement, self.catalog())
+        return self.offline_engine.execute(
+            compiled, parallel_windows=parallel_windows, skew=skew)
+
+    # ------------------------------------------------------------------
+    # online preview mode
+
+    def preview(self, sql: str, limit: int = 10) -> List[Row]:
+        """Online preview: limited batch run with complexity constraints.
+
+        Results are served from a cache keyed on (sql, limit) — the
+        paper's "retrieves results from a data cache".
+        """
+        if limit > PreviewConstraints.MAX_ROWS:
+            raise PlanError(
+                f"preview limit {limit} exceeds "
+                f"{PreviewConstraints.MAX_ROWS}")
+        cache_key = (sql, limit)
+        cached = self._preview_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        statement = parse(sql)
+        if not isinstance(statement, ast.SelectStatement):
+            raise ParseError("preview expects a SELECT")
+        if len(statement.windows) > PreviewConstraints.MAX_WINDOWS:
+            raise PlanError("preview: too many windows")
+        if len(statement.joins) > PreviewConstraints.MAX_JOINS:
+            raise PlanError("preview: too many joins")
+        for window in statement.windows:
+            if len(window.partition_by) \
+                    > PreviewConstraints.MAX_PARTITION_COLUMNS:
+                raise PlanError("preview: too many partition key columns")
+        rows, _stats = self.offline_query_statement(statement)
+        result = rows[:limit]
+        self._preview_cache[cache_key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # maintenance / recovery
+
+    def recover_table(self, name: str) -> int:
+        """Rebuild a table's online structures by replaying the binlog.
+
+        Simulates a tablet restart (Section 5.1's failure-recovery
+        design): the in-memory indexes are discarded and reconstructed
+        from the replicator's log, including re-running any registered
+        aggregator updaters, so pre-aggregation state recovers with the
+        data.  Returns the number of replayed rows.
+        """
+        old = self.table(name)
+        if isinstance(old, MemTable):
+            fresh: Union[MemTable, DiskTable] = MemTable(
+                name, old.schema, old.indexes, replicas=old.replicas,
+                seed=self._seed)
+        else:
+            fresh = DiskTable(name, old.schema, old.indexes,
+                              replicas=old.replicas,
+                              flush_threshold=old.flush_threshold,
+                              seed=self._seed)
+        replayed = 0
+        for entry in self.replicator.entries_from(0):
+            if entry.table != name:
+                continue
+            fresh.insert(entry.row)
+            replayed += 1
+        self.tables[name] = fresh
+        # Deployed pre-aggregators keep their own state — they consumed
+        # the same binlog asynchronously, so nothing is lost with the
+        # table's in-memory structures.
+        return replayed
+
+    def evict_expired(self, now_ts: int) -> int:
+        """Run TTL eviction across all memory tables."""
+        removed = 0
+        for table in self.tables.values():
+            if isinstance(table, MemTable):
+                removed += table.evict_expired(now_ts)
+        return removed
+
+    def close(self) -> None:
+        self.replicator.close()
+
+
+def _approx_row_bytes(row: Sequence[Any]) -> int:
+    total = 16
+    for value in row:
+        total += 8 if not isinstance(value, str) else 8 + len(value)
+    return total

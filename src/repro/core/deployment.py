@@ -1,0 +1,147 @@
+"""Deployments: compiled feature scripts bound to online serving.
+
+A deployment is the unit the paper's Figure 3 pushes from development to
+production: a SELECT compiled once, plus serving options — most notably
+``OPTIONS(long_windows="w1:1d")``, which turns on long-window
+pre-aggregation (Section 5.1, Figure 11) for the named windows.
+
+Deploying with long windows:
+
+1. verifies the windows exist and use time-range frames;
+2. creates one :class:`~repro.online.preagg.PreAggregator` per *mergeable*
+   aggregate bound to those windows (non-mergeable aggregates keep the
+   raw-scan path — correctness never depends on pre-aggregation);
+3. **backfills** the aggregators from existing table data (the paper's
+   "slightly higher data loading overhead");
+4. registers an ``update_aggr`` binlog closure so subsequent inserts
+   maintain the aggregators asynchronously.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from ..errors import DeploymentError
+from ..schema import Row
+from ..sql import ast
+from ..sql.compiler import CompiledQuery
+from ..storage.memtable import normalize_ts
+from ..online.preagg import (LongWindowOption, PreAggregator,
+                             parse_long_windows)
+
+__all__ = ["Deployment"]
+
+
+@dataclasses.dataclass
+class Deployment:
+    """One deployed feature script.
+
+    Attributes:
+        name: deployment name (``DEPLOY name ...``).
+        sql: original SQL text (for introspection/EXPLAIN).
+        compiled: the compiled plan executed per request.
+        long_windows: parsed long-window options, empty when disabled.
+        preaggs: window name → {aggregate slot → PreAggregator}; the
+            online engine answers these slots from pre-aggregation.
+        backfill_seconds: measured aggregator backfill cost at deploy time.
+    """
+
+    name: str
+    sql: str
+    compiled: CompiledQuery
+    long_windows: Tuple[LongWindowOption, ...] = ()
+    preaggs: Dict[str, Dict[int, PreAggregator]] = dataclasses.field(
+        default_factory=dict)
+    backfill_seconds: float = 0.0
+
+    @classmethod
+    def from_statement(cls, statement: ast.DeployStatement, sql: str,
+                       compiled: CompiledQuery) -> "Deployment":
+        option = statement.option("long_windows")
+        long_windows = parse_long_windows(option) if option else ()
+        return cls(name=statement.name, sql=sql, compiled=compiled,
+                   long_windows=long_windows)
+
+    # ------------------------------------------------------------------
+
+    def initialize_preagg(
+            self, tables: Mapping[str, Any],
+            register_updater: Callable[[str, Callable], None],
+            levels: int = 2) -> None:
+        """Create, backfill, and wire the deployment's pre-aggregators.
+
+        Args:
+            tables: table name → storage object.
+            register_updater: callback ``(table_name, update_closure)``
+                hooking aggregator maintenance into the binlog pipeline.
+            levels: aggregator hierarchy depth (Section 5.1).
+        """
+        started = time.perf_counter()
+        for option in self.long_windows:
+            window = self.compiled.windows.get(option.window)
+            if window is None:
+                raise DeploymentError(
+                    f"long_windows references unknown window "
+                    f"{option.window!r}")
+            plan = window.plan
+            if not plan.is_range_frame:
+                raise DeploymentError(
+                    f"long_windows window {option.window!r} must use a "
+                    "ROWS_RANGE frame")
+            if plan.union_tables:
+                raise DeploymentError(
+                    "long-window pre-aggregation over WINDOW UNION is not "
+                    "supported; drop the union or the long_windows option")
+            if plan.instance_not_in_window:
+                raise DeploymentError(
+                    "long-window pre-aggregation aggregates instance-table "
+                    "rows, which INSTANCE_NOT_IN_WINDOW excludes")
+            slot_map: Dict[int, PreAggregator] = {}
+            for compiled_agg in window.aggregates:
+                aggregator = self._build_aggregator(
+                    window, compiled_agg, option, levels)
+                if aggregator is None:
+                    continue  # non-mergeable: stays on the raw path
+                table = tables[self.compiled.plan.table]
+                aggregator.backfill(list(table.rows()))
+                register_updater(self.compiled.plan.table,
+                                 aggregator.make_update_closure())
+                slot_map[compiled_agg.slot] = aggregator
+            if slot_map:
+                self.preaggs[option.window] = slot_map
+        self.backfill_seconds = time.perf_counter() - started
+
+    @staticmethod
+    def _build_aggregator(window, compiled_agg, option: LongWindowOption,
+                          levels: int) -> Optional[PreAggregator]:
+        from ..sql.functions import get_aggregate
+
+        binding = compiled_agg.binding
+        probe = get_aggregate(binding.func_name, *binding.constants)
+        if not probe.mergeable:
+            return None
+        order_position = window.order_position
+
+        def ts_fn(row: Row, position: int = order_position) -> int:
+            return normalize_ts(row[position])
+
+        return PreAggregator(
+            func_name=binding.func_name, constants=binding.constants,
+            arg_fn=compiled_agg.arg_fn, key_fn=window.partition_key,
+            ts_fn=ts_fn, bucket_ms=option.bucket_ms, levels=levels)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def uses_preagg(self) -> bool:
+        return bool(self.preaggs)
+
+    def preagg_stats(self) -> Dict[str, Dict[int, int]]:
+        """rows absorbed per (window, slot) — observability for Fig. 11."""
+        return {
+            window: {slot: aggregator.rows_absorbed
+                     for slot, aggregator in slots.items()}
+            for window, slots in self.preaggs.items()
+        }

@@ -1,0 +1,101 @@
+"""Exception hierarchy for the OpenMLDB reproduction.
+
+Every error raised by the library derives from :class:`OpenMLDBError` so
+applications can catch a single base class.  Sub-classes mirror the major
+subsystems of the paper: SQL front end, plan generation, execution, storage,
+and memory governance.
+"""
+
+from __future__ import annotations
+
+
+class OpenMLDBError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SQLError(OpenMLDBError):
+    """Base class for errors in the SQL front end."""
+
+
+class LexError(SQLError):
+    """Raised when the lexer encounters an invalid character sequence."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class ParseError(SQLError):
+    """Raised when the parser cannot build an AST from the token stream."""
+
+
+class PlanError(OpenMLDBError):
+    """Raised when a logical or physical plan cannot be constructed."""
+
+
+class CompileError(OpenMLDBError):
+    """Raised when plan compilation to executable closures fails."""
+
+
+class ExecutionError(OpenMLDBError):
+    """Raised when a compiled plan fails at run time."""
+
+
+class SchemaError(OpenMLDBError):
+    """Raised for schema definition or validation problems."""
+
+
+class TypeMismatchError(SchemaError):
+    """Raised when a value does not match its declared column type."""
+
+
+class StorageError(OpenMLDBError):
+    """Base class for storage-engine errors."""
+
+
+class EncodingError(StorageError):
+    """Raised when a row cannot be encoded or decoded."""
+
+
+class TableNotFoundError(StorageError):
+    """Raised when a referenced table does not exist."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"table not found: {name!r}")
+        self.table_name = name
+
+
+class TableExistsError(StorageError):
+    """Raised when creating a table whose name is already taken."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"table already exists: {name!r}")
+        self.table_name = name
+
+
+class IndexNotFoundError(StorageError):
+    """Raised when no index matches a requested (key, ts) access path."""
+
+
+class DeploymentError(OpenMLDBError):
+    """Raised for invalid deployment operations (deploy/undeploy/request)."""
+
+
+class DeploymentNotFoundError(DeploymentError):
+    """Raised when a referenced deployment does not exist."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"deployment not found: {name!r}")
+        self.deployment_name = name
+
+
+class MemoryLimitExceededError(OpenMLDBError):
+    """Raised when a write would push a tablet past ``max_memory_mb``.
+
+    Mirrors the paper's memory-isolation behaviour (Section 8.2): writes
+    fail but reads continue to be served.
+    """
+
+
+class ConsistencyError(OpenMLDBError):
+    """Raised when online and offline feature results diverge."""

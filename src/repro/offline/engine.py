@@ -1,0 +1,354 @@
+"""Offline batch execution engine (paper Section 6).
+
+Executes a compiled feature script over the *full history* of the primary
+table: every stored row becomes an anchor (the batch analogue of a
+request tuple) and receives one output feature row.  The window semantics
+replay the online engine exactly — a window anchored at row *r* contains
+*r* plus the rows that were already present when *r* arrived — which is
+what makes online/offline feature values consistent (Section 4's unified
+plan, verified by :mod:`repro.core.consistency`).
+
+Two paper optimisations live here:
+
+* **Multi-window parallel optimisation** (Section 6.1) — windows without
+  dependencies run as independent tasks; a hidden *index column* keyed to
+  each anchor row lets the final ``ConcatJoin`` (a LAST JOIN on the index)
+  realign per-window feature columns regardless of partition order.  The
+  engine really executes windows concurrently on a thread pool, and also
+  reports per-window measured times so benchmarks can derive the
+  distributed makespan (see :mod:`repro.offline.scheduling`).
+* **Time-aware skew resolving** (Section 6.2) — with a
+  :class:`~repro.offline.skew.SkewConfig`, each window's per-key groups
+  are split into ``(key, PART_ID)`` tasks along the timestamp quantiles,
+  expanded rows providing cross-partition window context.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import (Any, Dict, List, Mapping, Optional, Sequence,
+                    Tuple)
+
+from ..errors import ExecutionError
+from ..schema import Row
+from ..sql.compiler import CompiledQuery, CompiledWindow
+from ..storage.memtable import normalize_ts
+from .scheduling import lpt_makespan
+from .skew import SkewConfig, SkewResolver
+
+__all__ = ["OfflineEngine", "OfflineStats"]
+
+
+@dataclasses.dataclass
+class OfflineStats:
+    """Measured execution profile of one batch run.
+
+    ``window_seconds`` maps window name → measured compute time.
+    ``task_seconds`` lists individual (key, PART_ID) task times across all
+    windows — the inputs to the makespan model.  ``serial_seconds`` is the
+    sum of window times (a serial engine's cost); ``parallel_seconds`` the
+    LPT makespan of the window tasks on ``workers`` workers.
+    """
+
+    rows: int = 0
+    window_seconds: Dict[str, float] = dataclasses.field(default_factory=dict)
+    window_tasks: Dict[str, List[float]] = dataclasses.field(
+        default_factory=dict)
+    join_seconds: float = 0.0
+    project_seconds: float = 0.0
+    workers: int = 1
+    used_parallel_windows: bool = False
+    used_skew_resolver: bool = False
+    tasks: int = 0
+
+    @property
+    def task_seconds(self) -> List[float]:
+        return [seconds for tasks in self.window_tasks.values()
+                for seconds in tasks]
+
+    @property
+    def serial_seconds(self) -> float:
+        return sum(self.window_seconds.values())
+
+    @property
+    def parallel_seconds(self) -> float:
+        """Distributed makespan under the run's window-execution mode.
+
+        With the multi-window parallel optimisation every window's tasks
+        pool into one schedule; without it, windows are stage barriers —
+        each window's tasks schedule independently and the stages add up
+        (within-window key parallelism exists either way, as in Spark).
+        """
+        if not self.window_tasks:
+            return 0.0
+        if self.used_parallel_windows:
+            return lpt_makespan(self.task_seconds, self.workers)
+        return sum(lpt_makespan(tasks, self.workers)
+                   for tasks in self.window_tasks.values() if tasks)
+
+    @property
+    def total_serial_seconds(self) -> float:
+        return (self.serial_seconds + self.join_seconds
+                + self.project_seconds)
+
+    @property
+    def total_parallel_seconds(self) -> float:
+        return (self.parallel_seconds + self.join_seconds
+                + self.project_seconds)
+
+
+# One window-source event: (ts, tie_breaker, row, anchor_index or None).
+# anchor_index is the primary-row position for instance rows, None for
+# rows contributed by WINDOW UNION tables (context only).
+_Event = Tuple[int, Tuple[Any, ...], Row, Optional[int]]
+
+
+class OfflineEngine:
+    """Batch executor over the stored tables.
+
+    Args:
+        tables: table name → storage object.
+        workers: simulated cluster width for the makespan model (thread
+            pool size matches it for the real concurrent execution).
+    """
+
+    def __init__(self, tables: Mapping[str, Any], workers: int = 8) -> None:
+        if workers <= 0:
+            raise ExecutionError("workers must be positive")
+        self._tables = tables
+        self.workers = workers
+
+    # ------------------------------------------------------------------
+
+    def execute(self, compiled: CompiledQuery,
+                parallel_windows: bool = True,
+                skew: Optional[SkewConfig] = None
+                ) -> Tuple[List[Row], OfflineStats]:
+        """Run the batch computation; returns (feature rows, stats)."""
+        plan = compiled.plan
+        stats = OfflineStats(workers=self.workers,
+                             used_parallel_windows=parallel_windows,
+                             used_skew_resolver=skew is not None)
+        primary = self._tables[plan.table]
+        anchors: List[Row] = list(primary.rows())
+        stats.rows = len(anchors)
+
+        # LAST JOINs: resolve each anchor's combined row.
+        started = time.perf_counter()
+        combined_rows = self._resolve_joins(compiled, anchors)
+        stats.join_seconds = time.perf_counter() - started
+
+        # Window aggregates, one result vector per anchor.  The hidden
+        # index column of Section 6.1 is the anchor position itself: each
+        # window task emits (anchor_index, values) pairs and the concat
+        # step joins on it.
+        aggregate_columns: List[List[Any]] = [
+            [None] * compiled.aggregate_count for _ in anchors]
+        window_jobs = [(name, window)
+                       for name, window in compiled.windows.items()
+                       if window.aggregates]
+
+        def run_window(job: Tuple[str, CompiledWindow]) -> Tuple[str, float,
+                                                                 List[float]]:
+            # thread_time, not perf_counter: when windows run concurrently
+            # on the pool, wall-clock spans would absorb other threads'
+            # GIL slices and double-count work in the makespan model.
+            name, window = job
+            window_started = time.thread_time()
+            task_times = self._compute_window(
+                compiled, window, anchors, aggregate_columns, skew)
+            return (name, time.thread_time() - window_started, task_times)
+
+        if parallel_windows and len(window_jobs) > 1:
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                outcomes = list(pool.map(run_window, window_jobs))
+        else:
+            outcomes = [run_window(job) for job in window_jobs]
+        for name, seconds, task_times in outcomes:
+            stats.window_seconds[name] = seconds
+            stats.window_tasks[name] = task_times
+            stats.tasks += len(task_times)
+
+        # ConcatJoin + final projection.
+        started = time.perf_counter()
+        output: List[Row] = []
+        limit = plan.statement.limit
+        for index, combined in enumerate(combined_rows):
+            if compiled.where_fn is not None \
+                    and compiled.where_fn(combined) is not True:
+                continue
+            extended = combined + tuple(aggregate_columns[index])
+            output.append(compiled.project(extended))
+            if limit is not None and len(output) >= limit:
+                break
+        stats.project_seconds = time.perf_counter() - started
+        return output, stats
+
+    # ------------------------------------------------------------------
+    # joins
+
+    def _resolve_joins(self, compiled: CompiledQuery,
+                       anchors: Sequence[Row]) -> List[Row]:
+        if not compiled.joins:
+            return [tuple(anchor) for anchor in anchors]
+        combined_rows: List[Row] = []
+        for anchor in anchors:
+            combined: List[Any] = [None] * compiled.combined_width
+            combined[:len(anchor)] = anchor
+            for join in compiled.joins:
+                key_value = join.key_fn(tuple(combined))
+                table = self._tables[join.plan.right_table]
+                matched: Optional[Row] = None
+                if join.residual_fn is None:
+                    hit = table.last_join_lookup(join.key_columns, key_value)
+                    matched = hit[1] if hit is not None else None
+                else:
+                    index = table.find_index(join.key_columns)
+                    for _ts, candidate in table.window_scan(
+                            join.key_columns, index.ts_column, key_value):
+                        probe = list(combined)
+                        probe[join.start_slot:
+                              join.start_slot + join.right_width] = candidate
+                        if join.residual_fn(tuple(probe)) is True:
+                            matched = candidate
+                            break
+                if matched is not None:
+                    combined[join.start_slot:
+                             join.start_slot + join.right_width] = matched
+            combined_rows.append(tuple(combined))
+        return combined_rows
+
+    # ------------------------------------------------------------------
+    # windows
+
+    def _window_events(self, compiled: CompiledQuery,
+                       window: CompiledWindow,
+                       anchors: Sequence[Row]) -> List[_Event]:
+        """Assemble the window's source events in replay order.
+
+        Replay order is (ts, table, sequence): the order in which an
+        online system would have ingested the same data, which is what
+        makes batch window contents equal the request-time contents.
+        """
+        plan = window.plan
+        events: List[_Event] = []
+        for position, anchor in enumerate(anchors):
+            ts = normalize_ts(window.order_value(anchor))
+            events.append((ts, (0, position), anchor, position))
+        for union_position, union_table in enumerate(plan.union_tables):
+            table = self._tables[union_table]
+            for sequence, row in enumerate(table.rows()):
+                ts = normalize_ts(window.order_value(row))
+                events.append((ts, (1 + union_position, sequence), row, None))
+        events.sort(key=lambda event: (event[0], event[1]))
+        return events
+
+    def _compute_window(self, compiled: CompiledQuery,
+                        window: CompiledWindow,
+                        anchors: Sequence[Row],
+                        aggregate_columns: List[List[Any]],
+                        skew: Optional[SkewConfig]) -> List[float]:
+        """Compute one window's aggregates for every anchor.
+
+        Returns the measured per-task times (one task per (key, PART_ID)
+        group — or per key when skew resolving is off).
+        """
+        plan = window.plan
+        events = self._window_events(compiled, window, anchors)
+        key_fn = window.partition_key
+
+        if skew is not None:
+            resolver = SkewResolver(skew)
+            tasks = resolver.build_tasks(
+                [event for event in events],
+                key_fn=lambda event: key_fn(event[2]),
+                ts_fn=lambda event: event[0],
+                range_ms=plan.range_preceding_ms,
+                rows_preceding=plan.rows_preceding)
+            task_groups = [
+                ([tagged.row for tagged in task.rows],
+                 [not tagged.expanded for tagged in task.rows])
+                for task in tasks
+            ]
+        else:
+            grouped: Dict[Any, List[_Event]] = {}
+            for event in events:
+                grouped.setdefault(key_fn(event[2]), []).append(event)
+            task_groups = [
+                (group, [True] * len(group))
+                for group in (grouped[key] for key in sorted(
+                    grouped, key=str))
+            ]
+
+        task_times: List[float] = []
+        for group_events, emit_flags in task_groups:
+            started = time.thread_time()
+            self._run_group(window, group_events, emit_flags,
+                            aggregate_columns)
+            task_times.append(time.thread_time() - started)
+        return task_times
+
+    def _run_group(self, window: CompiledWindow,
+                   group_events: Sequence[_Event],
+                   emit_flags: Sequence[bool],
+                   aggregate_columns: List[List[Any]]) -> None:
+        """Slide one (key[, PART_ID]) group through the window frame."""
+        from ..online.incremental import SlidingWindowAggregator
+
+        plan = window.plan
+        functions = [(compiled_agg.binding.func_name,
+                      compiled_agg.binding.constants)
+                     for compiled_agg in window.aggregates]
+        extractors = [compiled_agg.arg_fn
+                      for compiled_agg in window.aggregates]
+        slots = [compiled_agg.slot for compiled_agg in window.aggregates]
+        include_current = not (plan.exclude_current_row
+                               or plan.instance_not_in_window)
+        max_rows = plan.rows_preceding
+        if max_rows is not None and not include_current:
+            max_rows = max(max_rows - 1, 0)
+        if plan.maxsize is not None:
+            max_rows = (plan.maxsize if max_rows is None
+                        else min(max_rows, plan.maxsize))
+        aggregator = SlidingWindowAggregator(
+            functions, extractors,
+            range_ms=plan.range_preceding_ms, max_rows=max_rows)
+
+        for event, emit in zip(group_events, emit_flags):
+            ts, _tie, row, anchor_index = event
+            is_instance = anchor_index is not None
+            if not is_instance:
+                aggregator.insert(ts, row)
+                continue
+            if include_current:
+                aggregator.insert(ts, row)
+                if emit:
+                    self._emit(aggregator.results(), slots, anchor_index,
+                               aggregate_columns)
+            elif plan.instance_not_in_window:
+                # Instance rows never enter the window; the anchor itself
+                # participates transiently unless also excluded.
+                aggregator.evict_to(ts)
+                if emit:
+                    values = (aggregator.results()
+                              if plan.exclude_current_row
+                              else aggregator.results_with(row))
+                    self._emit(values, slots, anchor_index,
+                               aggregate_columns)
+            else:
+                # EXCLUDE CURRENT_ROW: evaluate the frame anchored at ts
+                # before adding the row (it joins later windows).
+                aggregator.evict_to(ts)
+                if emit:
+                    self._emit(aggregator.results(), slots, anchor_index,
+                               aggregate_columns)
+                aggregator.insert(ts, row)
+
+    @staticmethod
+    def _emit(values: Sequence[Any], slots: Sequence[int],
+              anchor_index: int,
+              aggregate_columns: List[List[Any]]) -> None:
+        for slot, value in zip(slots, values):
+            aggregate_columns[anchor_index][slot] = value

@@ -1,0 +1,76 @@
+"""HyperLogLog cardinality estimation (paper Section 6.2).
+
+The time-aware skew resolver needs the distribution of the ORDER BY
+timestamp column without a full sorted scan; the paper approximates it
+with HyperLogLog.  This implementation follows Flajolet et al. (2007):
+``m = 2**p`` registers, each keeping the maximum leading-zero rank of the
+hashed suffix, with the standard small/large-range corrections.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Any, Iterable
+
+__all__ = ["HyperLogLog"]
+
+
+def _hash64(value: Any) -> int:
+    digest = hashlib.blake2b(repr(value).encode("utf-8"),
+                             digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HyperLogLog:
+    """HyperLogLog estimator with ``2**precision`` one-byte registers."""
+
+    def __init__(self, precision: int = 12) -> None:
+        if not 4 <= precision <= 16:
+            raise ValueError("precision must be in [4, 16]")
+        self.precision = precision
+        self._m = 1 << precision
+        self._registers = bytearray(self._m)
+        if self._m >= 128:
+            self._alpha = 0.7213 / (1 + 1.079 / self._m)
+        elif self._m == 64:
+            self._alpha = 0.709
+        elif self._m == 32:
+            self._alpha = 0.697
+        else:
+            self._alpha = 0.673
+
+    def add(self, value: Any) -> None:
+        hashed = _hash64(value)
+        register = hashed >> (64 - self.precision)
+        suffix = hashed & ((1 << (64 - self.precision)) - 1)
+        # Rank = position of the leftmost 1-bit in the suffix (1-based).
+        rank = (64 - self.precision) - suffix.bit_length() + 1
+        if rank > self._registers[register]:
+            self._registers[register] = rank
+
+    def update(self, values: Iterable[Any]) -> None:
+        for value in values:
+            self.add(value)
+
+    def cardinality(self) -> float:
+        """Estimated number of distinct values added."""
+        m = self._m
+        raw = self._alpha * m * m / sum(
+            2.0 ** -register for register in self._registers)
+        if raw <= 2.5 * m:
+            zeros = self._registers.count(0)
+            if zeros:
+                return m * math.log(m / zeros)  # linear counting
+        if raw > (1 << 32) / 30.0:
+            return -(1 << 32) * math.log(1 - raw / (1 << 32))
+        return raw
+
+    def merge(self, other: "HyperLogLog") -> "HyperLogLog":
+        """Union of two sketches (register-wise max)."""
+        if other.precision != self.precision:
+            raise ValueError("cannot merge HLLs of different precision")
+        merged = HyperLogLog(self.precision)
+        merged._registers = bytearray(
+            max(a, b) for a, b in zip(self._registers, other._registers))
+        return merged

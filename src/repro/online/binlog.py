@@ -1,0 +1,142 @@
+"""Binlog replicator (paper Section 5.1, "Aggregator Update").
+
+The replicator serialises table updates into a binlog with monotonically
+increasing offsets.  All appends go through the replicator lock, so no
+concurrent ``Put`` can interleave a conflicting update mid-sequence — the
+monotone ``binlog_offset`` assumption the paper's aggregator-update design
+rests on.
+
+Each appended entry may carry a *closure* (the paper's ``update_aggr``):
+``AppendEntry(entry, closure)`` both persists the entry and schedules the
+closure for **asynchronous** execution on the replicator's worker thread,
+decoupling pre-aggregation maintenance from the insertion fast path.
+Failure recovery replays the log from a given offset, re-running closures
+through a re-registered handler.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import queue
+import threading
+from typing import Any, Callable, List, Optional, Tuple
+
+__all__ = ["BinlogEntry", "Replicator"]
+
+
+@dataclasses.dataclass(frozen=True)
+class BinlogEntry:
+    """One replicated update: table, row payload, and its global offset."""
+
+    offset: int
+    table: str
+    row: Tuple[Any, ...]
+
+
+class Replicator:
+    """Monotone binlog with asynchronous closure execution.
+
+    Closures run on a single worker thread in offset order, which gives
+    aggregator updates a total order without blocking inserts.  Exceptions
+    raised by a closure are captured (not swallowed silently: they are
+    recorded on :attr:`failures` and surfaced by :meth:`check`).
+    """
+
+    def __init__(self) -> None:
+        self._entries: List[BinlogEntry] = []
+        self._lock = threading.Lock()
+        self._queue: "queue.Queue[Optional[Tuple[BinlogEntry, Callable]]]" \
+            = queue.Queue()
+        self._worker: Optional[threading.Thread] = None
+        self._pending = 0
+        self._pending_cond = threading.Condition()
+        self.failures: List[Tuple[int, BaseException]] = []
+
+    # ------------------------------------------------------------------
+
+    def append_entry(self, table: str, row: Tuple[Any, ...],
+                     closure: Optional[Callable[[BinlogEntry], None]] = None
+                     ) -> int:
+        """Append one entry; optionally schedule ``closure`` on it.
+
+        Returns the entry's binlog offset.  The append itself is protected
+        by the replicator lock; closure execution happens later, on the
+        worker thread, in offset order.
+        """
+        with self._lock:
+            offset = len(self._entries)
+            entry = BinlogEntry(offset=offset, table=table, row=tuple(row))
+            self._entries.append(entry)
+        if closure is not None:
+            self._ensure_worker()
+            with self._pending_cond:
+                self._pending += 1
+            self._queue.put((entry, closure))
+        return offset
+
+    def _ensure_worker(self) -> None:
+        if self._worker is None or not self._worker.is_alive():
+            self._worker = threading.Thread(target=self._run, daemon=True)
+            self._worker.start()
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            entry, closure = item
+            try:
+                closure(entry)
+            except BaseException as exc:  # recorded, surfaced via check()
+                self.failures.append((entry.offset, exc))
+            finally:
+                with self._pending_cond:
+                    self._pending -= 1
+                    self._pending_cond.notify_all()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def last_offset(self) -> int:
+        with self._lock:
+            return len(self._entries) - 1
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until all scheduled closures have executed.
+
+        Tests and the pre-aggregation backfill use this to make the
+        asynchronous pipeline deterministic.  Returns False on timeout.
+        """
+        with self._pending_cond:
+            return self._pending_cond.wait_for(
+                lambda: self._pending == 0, timeout=timeout)
+
+    def check(self) -> None:
+        """Raise the first recorded closure failure, if any."""
+        if self.failures:
+            offset, exc = self.failures[0]
+            raise RuntimeError(
+                f"binlog closure failed at offset {offset}") from exc
+
+    def entries_from(self, offset: int) -> List[BinlogEntry]:
+        """Snapshot of entries with offset >= ``offset`` (replay source)."""
+        with self._lock:
+            return self._entries[offset:]
+
+    def replay(self, offset: int,
+               handler: Callable[[BinlogEntry], None]) -> int:
+        """Re-apply ``handler`` over entries from ``offset`` onwards.
+
+        This is the failure-recovery path: a restarted aggregator replays
+        the suffix of the binlog it had not yet consumed.  Returns the
+        number of entries replayed.
+        """
+        entries = self.entries_from(offset)
+        for entry in entries:
+            handler(entry)
+        return len(entries)
+
+    def close(self) -> None:
+        if self._worker is not None and self._worker.is_alive():
+            self._queue.put(None)
+            self._worker.join(timeout=5)

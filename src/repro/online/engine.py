@@ -1,0 +1,272 @@
+"""Online real-time execution engine (paper Sections 3.2 and 5).
+
+Implements **online request mode**: each incoming request tuple is
+treated as virtually inserted into its table, the deployed (compiled)
+feature script runs against it, and a single feature row comes back.
+
+The fast path per request:
+
+1. Resolve each ``LAST JOIN`` through the right table's stream index —
+   the newest matching tuple is O(1) thanks to the two-level skiplist.
+2. For every window, fetch its rows via index scans bounded by the
+   request timestamp (window unions merge several tables' scans
+   newest-first), or — for deployed *long windows* — ask the
+   pre-aggregation manager for merged bucket states and scan only the
+   raw head/tail spans (Section 5.1's query refinement).
+3. Fold the compiled aggregates and project the output row.
+
+The engine is stateless across requests; all state lives in the storage
+layer and the pre-aggregators, so concurrent requests need no locks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import (Any, Dict, Iterator, List, Mapping, Optional, Sequence,
+                    Tuple)
+
+from ..errors import ExecutionError
+from ..schema import Row
+from ..sql.compiler import CompiledJoin, CompiledQuery, CompiledWindow
+from ..storage.memtable import normalize_ts
+from .preagg import PreAggregator
+
+__all__ = ["OnlineEngine", "EngineStats"]
+
+
+@dataclasses.dataclass
+class EngineStats:
+    """Counters for observability and the ablation benches."""
+
+    requests: int = 0
+    rows_scanned: int = 0
+    preagg_bucket_merges: int = 0
+    preagg_raw_rows: int = 0
+    join_lookups: int = 0
+
+
+class OnlineEngine:
+    """Request-mode executor over a set of tables.
+
+    Args:
+        tables: table name → storage object (``MemTable`` or ``DiskTable``
+            — both expose the same read API).
+    """
+
+    def __init__(self, tables: Mapping[str, Any]) -> None:
+        self._tables = tables
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+
+    def execute_request(
+            self, compiled: CompiledQuery, request_row: Sequence[Any],
+            preagg: Optional[Mapping[str, Mapping[int, PreAggregator]]] = None
+    ) -> Row:
+        """Run one request tuple through a compiled deployment.
+
+        Args:
+            compiled: the compiled feature script.
+            request_row: a tuple matching the primary table's schema.
+            preagg: window name → {aggregate slot → PreAggregator}; slots
+                present here are answered from pre-aggregation, the rest
+                from raw window scans.
+
+        Returns:
+            The projected feature row.
+        """
+        plan = compiled.plan
+        validated = plan.table_schema.validate_row(request_row)
+        self.stats.requests += 1
+
+        # Build the combined row: primary columns then each join's.
+        combined: List[Any] = [None] * compiled.combined_width
+        combined[:len(validated)] = validated
+        for join in compiled.joins:
+            matched = self._resolve_join(join, combined)
+            if matched is not None:
+                combined[join.start_slot:
+                         join.start_slot + join.right_width] = matched
+        combined_tuple = tuple(combined)
+
+        if compiled.where_fn is not None \
+                and compiled.where_fn(combined_tuple) is not True:
+            raise ExecutionError(
+                "request tuple filtered out by WHERE predicate")
+
+        # Window aggregates, with row fetches shared between windows that
+        # the compiler recognised as identical definitions.
+        aggregate_values: List[Any] = [None] * compiled.aggregate_count
+        fetched: Dict[str, List[Row]] = {}
+        for name, window in compiled.windows.items():
+            if not window.aggregates:
+                continue
+            canonical = compiled.merged_windows.get(name, name)
+            preagg_slots = dict(preagg.get(name, {})) if preagg else {}
+            raw_aggregates = [compiled_agg for compiled_agg
+                              in window.aggregates
+                              if compiled_agg.slot not in preagg_slots]
+            if raw_aggregates or not preagg_slots:
+                if canonical not in fetched:
+                    fetched[canonical] = self._window_rows(
+                        compiled, window, validated)
+                rows = fetched[canonical]
+                results = window.compute(rows)
+                for slot, value in results.items():
+                    if slot not in preagg_slots:
+                        aggregate_values[slot] = value
+            for slot, aggregator in preagg_slots.items():
+                aggregate_values[slot] = self._preagg_value(
+                    compiled, window, aggregator, validated)
+        extended = combined_tuple + tuple(aggregate_values)
+        return compiled.project(extended)
+
+    # ------------------------------------------------------------------
+    # joins
+
+    def _resolve_join(self, join: CompiledJoin,
+                      combined: List[Any]) -> Optional[Row]:
+        table = self._tables[join.plan.right_table]
+        key_value = join.key_fn(tuple(combined))
+        self.stats.join_lookups += 1
+        if join.residual_fn is None:
+            hit = table.last_join_lookup(join.key_columns, key_value)
+            return hit[1] if hit is not None else None
+        # Residual condition: walk candidates newest-first until one passes.
+        index = table.find_index(join.key_columns)
+        candidates = table.window_scan(join.key_columns, index.ts_column,
+                                       key_value)
+        for _ts, candidate in candidates:
+            probe = list(combined)
+            probe[join.start_slot:
+                  join.start_slot + join.right_width] = candidate
+            self.stats.rows_scanned += 1
+            if join.residual_fn(tuple(probe)) is True:
+                return candidate
+        return None
+
+    # ------------------------------------------------------------------
+    # windows
+
+    def _window_rows(self, compiled: CompiledQuery, window: CompiledWindow,
+                     request_row: Row) -> List[Row]:
+        """Fetch a window's rows (newest-first), request row included."""
+        plan = window.plan
+        primary = compiled.plan.table
+        key = window.partition_key(request_row)
+        anchor_ts = normalize_ts(window.order_value(request_row))
+        if plan.is_range_frame:
+            end_ts: Optional[int] = anchor_ts - plan.range_preceding_ms
+            limit: Optional[int] = None
+        elif plan.rows_preceding is not None:
+            end_ts = None
+            limit = plan.rows_preceding - 1  # preceding rows only
+        else:
+            end_ts = None
+            limit = None
+
+        # INSTANCE_NOT_IN_WINDOW: stored instance-table rows never enter
+        # the window — only union-table rows (the request row itself
+        # still participates unless EXCLUDE CURRENT_ROW).
+        sources = [] if plan.instance_not_in_window \
+            else [self._tables[primary]]
+        sources.extend(self._tables[union_table]
+                       for union_table in plan.union_tables)
+        iterators = [
+            source.window_scan(plan.partition_columns, plan.order_column,
+                               key, start_ts=anchor_ts, end_ts=end_ts)
+            for source in sources
+        ]
+        merged = _merge_newest_first(iterators, limit=limit)
+        self.stats.rows_scanned += len(merged)
+
+        include_request = not plan.exclude_current_row
+        rows: List[Row] = [request_row] if include_request else []
+        rows.extend(row for _ts, row in merged)
+        if plan.maxsize is not None:
+            rows = rows[:plan.maxsize]
+        return rows
+
+    # ------------------------------------------------------------------
+    # pre-aggregation path
+
+    def _preagg_value(self, compiled: CompiledQuery, window: CompiledWindow,
+                      aggregator: PreAggregator, request_row: Row) -> Any:
+        """Answer one long-window aggregate via query refinement."""
+        plan = window.plan
+        if not plan.is_range_frame:
+            raise ExecutionError(
+                "long-window pre-aggregation requires a ROWS_RANGE frame")
+        key = window.partition_key(request_row)
+        anchor_ts = normalize_ts(window.order_value(request_row))
+        lo = anchor_ts - plan.range_preceding_ms
+        refined = aggregator.query(key, lo, anchor_ts)
+        self.stats.preagg_bucket_merges += sum(
+            refined.buckets_used.values())
+
+        function = aggregator.function
+        state = refined.state
+        # Raw spans: head (oldest edge) merged *before* the bucket state,
+        # tail (newest edge, includes the open bucket) merged after.
+        head_state = self._raw_span_state(compiled, window, aggregator, key,
+                                          refined.head_span)
+        tail_state = self._raw_span_state(compiled, window, aggregator, key,
+                                          refined.tail_span)
+        merged = None
+        for piece in (head_state, state, tail_state):
+            if piece is None:
+                continue
+            merged = piece if merged is None else function.merge(
+                merged, piece)
+        # The request tuple itself is part of the window.
+        if not plan.exclude_current_row:
+            request_state = function.create()
+            function.add(request_state, *aggregator.extract_args(request_row))
+            merged = request_state if merged is None else function.merge(
+                merged, request_state)
+        if merged is None:
+            merged = function.create()
+        return function.result(merged)
+
+    def _raw_span_state(self, compiled: CompiledQuery,
+                        window: CompiledWindow,
+                        aggregator: PreAggregator, key: Any,
+                        span: Optional[Tuple[int, int]]) -> Any:
+        if span is None:
+            return None
+        plan = window.plan
+        table = self._tables[compiled.plan.table]
+        function = aggregator.function
+        state = None
+        rows = list(table.window_scan(plan.partition_columns,
+                                      plan.order_column, key,
+                                      start_ts=span[1], end_ts=span[0]))
+        self.stats.preagg_raw_rows += len(rows)
+        for _ts, row in reversed(rows):  # oldest → newest
+            if state is None:
+                state = function.create()
+            function.add(state, *aggregator.extract_args(row))
+        return state
+
+
+def _merge_newest_first(iterators: List[Iterator[Tuple[int, Row]]],
+                        limit: Optional[int]) -> List[Tuple[int, Row]]:
+    """k-way merge of newest-first (ts, row) streams, optionally capped."""
+    if limit is not None and limit <= 0:
+        return []  # e.g. ROWS BETWEEN 0 PRECEDING: only the request row
+    heads: List[Optional[Tuple[int, Row]]] = [
+        next(iterator, None) for iterator in iterators]
+    merged: List[Tuple[int, Row]] = []
+    while True:
+        best_slot = -1
+        best_ts: Optional[int] = None
+        for slot, head in enumerate(heads):
+            if head is not None and (best_ts is None or head[0] > best_ts):
+                best_ts = head[0]
+                best_slot = slot
+        if best_slot < 0:
+            return merged
+        merged.append(heads[best_slot])  # type: ignore[arg-type]
+        if limit is not None and len(merged) >= limit:
+            return merged
+        heads[best_slot] = next(iterators[best_slot], None)

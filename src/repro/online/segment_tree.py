@@ -1,0 +1,105 @@
+"""Segment tree over pre-aggregated bucket states (paper Section 5.1).
+
+The pre-aggregation manager keeps, per key and per level, a sequence of
+time buckets each holding a partial aggregate state.  A query over a long
+window must merge a *contiguous run* of those buckets; a segment tree
+makes that merge O(log n) instead of O(n), which matters when a
+multi-year window spans thousands of buckets.
+
+The tree is append-friendly: pre-aggregation only ever appends new buckets
+(time moves forward) or updates the most recent one (late tuples within
+the open bucket), both of which are O(log n) point updates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+__all__ = ["SegmentTree"]
+
+
+class SegmentTree:
+    """A dynamic segment tree under a user-supplied merge function.
+
+    ``merge(a, b)`` must be associative; ``identity`` is its neutral
+    element.  Values are arbitrary aggregate states.  Capacity doubles on
+    demand, so callers can append forever.
+    """
+
+    def __init__(self, merge: Callable[[Any, Any], Any],
+                 identity: Any = None) -> None:
+        self.merge_fn = merge
+        self._merge = merge
+        self._identity = identity
+        self._capacity = 1
+        self._size = 0
+        self._nodes: List[Any] = [identity, identity]
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _grow(self) -> None:
+        """Double capacity, re-seating existing leaves."""
+        old_leaves = [self._nodes[self._capacity + i]
+                      for i in range(self._size)]
+        self._capacity *= 2
+        self._nodes = [self._identity] * (2 * self._capacity)
+        for index, leaf in enumerate(old_leaves):
+            self._nodes[self._capacity + index] = leaf
+        for position in range(self._capacity - 1, 0, -1):
+            self._nodes[position] = self._merge_pair(
+                self._nodes[2 * position], self._nodes[2 * position + 1])
+
+    def _merge_pair(self, left: Any, right: Any) -> Any:
+        if left is self._identity or left is None:
+            return right
+        if right is self._identity or right is None:
+            return left
+        return self._merge(left, right)
+
+    def append(self, value: Any) -> int:
+        """Append a new leaf; returns its index."""
+        if self._size >= self._capacity:
+            self._grow()
+        index = self._size
+        self._size += 1
+        self.update(index, value)
+        return index
+
+    def update(self, index: int, value: Any) -> None:
+        """Point-update leaf ``index`` and re-merge its ancestors."""
+        if not 0 <= index < self._size and index != self._size:
+            raise IndexError(f"leaf {index} out of range")
+        position = self._capacity + index
+        self._nodes[position] = value
+        position //= 2
+        while position >= 1:
+            self._nodes[position] = self._merge_pair(
+                self._nodes[2 * position], self._nodes[2 * position + 1])
+            position //= 2
+
+    def get(self, index: int) -> Any:
+        if not 0 <= index < self._size:
+            raise IndexError(f"leaf {index} out of range")
+        return self._nodes[self._capacity + index]
+
+    def query(self, lo: int, hi: int) -> Any:
+        """Merge leaves in ``[lo, hi)``; identity for an empty range."""
+        if lo >= hi or self._size == 0:
+            return self._identity
+        lo = max(lo, 0)
+        hi = min(hi, self._size)
+        left_acc: Optional[Any] = self._identity
+        right_acc: Optional[Any] = self._identity
+        left = self._capacity + lo
+        right = self._capacity + hi
+        while left < right:
+            if left & 1:
+                left_acc = self._merge_pair(left_acc, self._nodes[left])
+                left += 1
+            if right & 1:
+                right -= 1
+                right_acc = self._merge_pair(self._nodes[right], right_acc)
+            left //= 2
+            right //= 2
+        return self._merge_pair(left_acc, right_acc)

@@ -1,0 +1,13 @@
+"""Unified query plan generator: SQL front end shared by both engines."""
+
+from .ast import (DeployStatement, InsertStatement, CreateTableStatement,
+                  SelectStatement)
+from .compiler import CompilationCache, CompiledQuery, compile_plan
+from .parser import parse, parse_select
+from .planner import QueryPlan, build_plan
+
+__all__ = [
+    "parse", "parse_select", "build_plan", "compile_plan",
+    "CompilationCache", "CompiledQuery", "QueryPlan", "SelectStatement",
+    "CreateTableStatement", "InsertStatement", "DeployStatement",
+]

@@ -1,0 +1,226 @@
+"""AST node definitions for OpenMLDB SQL.
+
+Plain frozen dataclasses; the parser builds these and the planner consumes
+them.  Structural equality and hashing come for free, which the compiler's
+compilation cache uses to recognise repeated plan shapes (Section 4.2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+__all__ = [
+    "Expr", "Literal", "ColumnRef", "Star", "FuncCall", "BinaryOp",
+    "UnaryOp", "CaseWhen", "FrameType", "FrameBound", "WindowSpec",
+    "LastJoinClause", "SelectItem", "SelectStatement", "ColumnDef",
+    "IndexClause", "CreateTableStatement", "InsertStatement",
+    "DeployStatement", "Statement",
+]
+
+
+class Expr:
+    """Marker base class for expression nodes."""
+
+    __slots__ = ()
+
+
+@dataclasses.dataclass(frozen=True)
+class Literal(Expr):
+    """A constant: int, float, string, bool, or None (NULL)."""
+
+    value: object
+
+
+@dataclasses.dataclass(frozen=True)
+class ColumnRef(Expr):
+    """A possibly table-qualified column reference (``t.col`` / ``col``)."""
+
+    name: str
+    table: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclasses.dataclass(frozen=True)
+class Star(Expr):
+    """``*`` or ``t.*`` in a select list."""
+
+    table: Optional[str] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class FuncCall(Expr):
+    """A function call, possibly windowed via ``OVER window_name``."""
+
+    name: str
+    args: Tuple[Expr, ...]
+    over: Optional[str] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class BinaryOp(Expr):
+    """Binary operator application (arithmetic, comparison, logic, ``||``)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclasses.dataclass(frozen=True)
+class UnaryOp(Expr):
+    """Unary operator: ``-``, ``NOT``, ``IS NULL``, ``IS NOT NULL``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclasses.dataclass(frozen=True)
+class CaseWhen(Expr):
+    """``CASE WHEN cond THEN value [...] [ELSE default] END``."""
+
+    branches: Tuple[Tuple[Expr, Expr], ...]
+    default: Optional[Expr] = None
+
+
+class FrameType:
+    """Window frame kinds: row-count frames vs. time-range frames."""
+
+    ROWS = "ROWS"
+    ROWS_RANGE = "ROWS_RANGE"
+
+
+@dataclasses.dataclass(frozen=True)
+class FrameBound:
+    """One side of a window frame.
+
+    ``offset`` is a row count for ROWS frames or milliseconds for
+    ROWS_RANGE frames; ``None`` offset with ``unbounded`` marks
+    ``UNBOUNDED PRECEDING``; ``current_row`` marks ``CURRENT ROW``.
+    """
+
+    offset: Optional[int] = None
+    unbounded: bool = False
+    current_row: bool = False
+
+    def __post_init__(self) -> None:
+        flags = sum((self.offset is not None, self.unbounded,
+                     self.current_row))
+        if flags != 1:
+            raise ValueError("frame bound must be exactly one of "
+                             "offset/unbounded/current_row")
+
+
+@dataclasses.dataclass(frozen=True)
+class WindowSpec(Expr):
+    """A named window definition from the WINDOW clause (Table 1).
+
+    ``union_tables`` carries the OpenMLDB WINDOW UNION extension: secondary
+    stream tables whose matching tuples join the window alongside the
+    primary table's (Section 5.2).
+    """
+
+    name: str
+    partition_by: Tuple[str, ...]
+    order_by: str
+    frame_type: str
+    start: FrameBound
+    end: FrameBound
+    union_tables: Tuple[str, ...] = ()
+    exclude_current_row: bool = False
+    instance_not_in_window: bool = False
+    maxsize: Optional[int] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class LastJoinClause:
+    """``LAST JOIN right [ORDER BY col] ON condition`` (Table 1)."""
+
+    table: str
+    condition: Expr
+    order_by: Optional[str] = None
+    alias: Optional[str] = None
+
+    @property
+    def effective_name(self) -> str:
+        return self.alias or self.table
+
+
+@dataclasses.dataclass(frozen=True)
+class SelectItem:
+    """One select-list entry with an optional alias."""
+
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class SelectStatement:
+    """A parsed SELECT with OpenMLDB extensions."""
+
+    items: Tuple[SelectItem, ...]
+    table: str
+    table_alias: Optional[str] = None
+    joins: Tuple[LastJoinClause, ...] = ()
+    where: Optional[Expr] = None
+    windows: Tuple[WindowSpec, ...] = ()
+    limit: Optional[int] = None
+
+    def window(self, name: str) -> WindowSpec:
+        for spec in self.windows:
+            if spec.name == name:
+                return spec
+        raise KeyError(name)
+
+
+@dataclasses.dataclass(frozen=True)
+class ColumnDef:
+    """A column in a CREATE TABLE statement."""
+
+    name: str
+    type_name: str
+    nullable: bool = True
+
+
+@dataclasses.dataclass(frozen=True)
+class IndexClause:
+    """``INDEX(KEY=col[, col...], TS=col [, TTL=..., TTL_TYPE=...])``."""
+
+    key_columns: Tuple[str, ...]
+    ts_column: str
+    ttl_value: Optional[str] = None
+    ttl_type: Optional[str] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class CreateTableStatement:
+    name: str
+    columns: Tuple[ColumnDef, ...]
+    indexes: Tuple[IndexClause, ...] = ()
+
+
+@dataclasses.dataclass(frozen=True)
+class InsertStatement:
+    table: str
+    rows: Tuple[Tuple[object, ...], ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class DeployStatement:
+    """``DEPLOY name [OPTIONS(key="value", ...)] <select>`` (Fig. 11)."""
+
+    name: str
+    select: SelectStatement
+    options: Tuple[Tuple[str, str], ...] = ()
+
+    def option(self, key: str, default: Optional[str] = None
+               ) -> Optional[str]:
+        for option_key, value in self.options:
+            if option_key == key:
+                return value
+        return default
+
+
+Statement = (SelectStatement, CreateTableStatement, InsertStatement,
+             DeployStatement)

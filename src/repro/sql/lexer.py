@@ -1,0 +1,193 @@
+"""Tokenizer for OpenMLDB SQL.
+
+Produces a flat token stream for the recursive-descent parser.  Beyond
+standard SQL lexemes it recognises the OpenMLDB extensions the paper's
+Table 1 relies on:
+
+* **interval literals** — ``3s``, ``5m``, ``2h``, ``100d`` inside window
+  frames (``ROWS_RANGE BETWEEN 3s PRECEDING AND CURRENT ROW``);
+* multi-word keywords are left as individual tokens (``LAST JOIN``,
+  ``ROWS_RANGE`` is a single lexeme in OpenMLDB and handled here).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Iterator, List
+
+from ..errors import LexError
+
+__all__ = ["TokenType", "Token", "tokenize"]
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    INTERVAL = "interval"  # value is milliseconds
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset({
+    "SELECT", "FROM", "WHERE", "WINDOW", "AS", "UNION", "PARTITION", "BY",
+    "ORDER", "ROWS", "ROWS_RANGE", "BETWEEN", "PRECEDING", "FOLLOWING",
+    "AND", "OR", "NOT", "CURRENT", "ROW", "CURRENT_ROW", "LAST", "JOIN",
+    "ON", "OVER", "EXCLUDE", "MAXSIZE", "INSTANCE_NOT_IN_WINDOW", "LIMIT",
+    "ASC", "DESC", "IS", "NULL", "TRUE", "FALSE", "CASE", "WHEN", "THEN",
+    "ELSE", "END", "CREATE", "TABLE", "INDEX",
+    "INSERT", "INTO", "VALUES", "DEPLOY", "OPTIONS", "IN",
+    "GROUP", "HAVING", "DISTINCT", "UNBOUNDED", "LIKE",
+})
+# KEY / TS / TTL / TTL_TYPE are contextual: they only act as keywords
+# inside an INDEX(...) clause, so common column names like "key" and
+# "ts" stay usable everywhere else.
+
+_INTERVAL_UNITS_MS = {
+    "s": 1_000,
+    "m": 60_000,
+    "h": 3_600_000,
+    "d": 86_400_000,
+}
+
+_TWO_CHAR_SYMBOLS = ("<=", ">=", "!=", "<>", "||")
+_ONE_CHAR_SYMBOLS = "(),.*+-/%=<>;"
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    """One lexeme: its type, source text, value, and source offset."""
+
+    type: TokenType
+    text: str
+    value: object
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.text == word
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Token({self.type.name}, {self.text!r})"
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Tokenize ``sql``; always ends with an EOF token.
+
+    Raises:
+        LexError: on characters outside the grammar or unterminated strings.
+    """
+    return list(_scan(sql))
+
+
+def _scan(sql: str) -> Iterator[Token]:
+    position = 0
+    length = len(sql)
+    while position < length:
+        char = sql[position]
+        if char.isspace():
+            position += 1
+            continue
+        if char == "-" and sql.startswith("--", position):
+            newline = sql.find("\n", position)
+            position = length if newline == -1 else newline + 1
+            continue
+        if char.isdigit():
+            token, position = _scan_number(sql, position)
+            yield token
+            continue
+        if char.isalpha() or char == "_":
+            token, position = _scan_word(sql, position)
+            yield token
+            continue
+        if char in ("'", '"'):
+            token, position = _scan_string(sql, position)
+            yield token
+            continue
+        two = sql[position:position + 2]
+        if two in _TWO_CHAR_SYMBOLS:
+            yield Token(TokenType.SYMBOL, two, two, position)
+            position += 2
+            continue
+        if char in _ONE_CHAR_SYMBOLS:
+            yield Token(TokenType.SYMBOL, char, char, position)
+            position += 1
+            continue
+        raise LexError(f"unexpected character {char!r}", position)
+    yield Token(TokenType.EOF, "", None, length)
+
+
+def _scan_number(sql: str, start: int):
+    position = start
+    length = len(sql)
+    while position < length and sql[position].isdigit():
+        position += 1
+    # Interval literal: digits immediately followed by a unit letter that is
+    # not part of a longer identifier (e.g. "3s" yes, "3sec" no → error).
+    if (position < length and sql[position] in _INTERVAL_UNITS_MS
+            and (position + 1 == length
+                 or not (sql[position + 1].isalnum()
+                         or sql[position + 1] == "_"))):
+        unit = sql[position]
+        text = sql[start:position + 1]
+        value = int(sql[start:position]) * _INTERVAL_UNITS_MS[unit]
+        return Token(TokenType.INTERVAL, text, value, start), position + 1
+    if position < length and sql[position] == ".":
+        position += 1
+        while position < length and sql[position].isdigit():
+            position += 1
+        if position < length and sql[position] in ("e", "E"):
+            position = _scan_exponent(sql, position)
+        text = sql[start:position]
+        return Token(TokenType.FLOAT, text, float(text), start), position
+    if position < length and sql[position] in ("e", "E"):
+        position = _scan_exponent(sql, position)
+        text = sql[start:position]
+        return Token(TokenType.FLOAT, text, float(text), start), position
+    text = sql[start:position]
+    return Token(TokenType.INT, text, int(text), start), position
+
+
+def _scan_exponent(sql: str, position: int) -> int:
+    position += 1  # past 'e'
+    if position < len(sql) and sql[position] in ("+", "-"):
+        position += 1
+    if position >= len(sql) or not sql[position].isdigit():
+        raise LexError("malformed float exponent", position)
+    while position < len(sql) and sql[position].isdigit():
+        position += 1
+    return position
+
+
+def _scan_word(sql: str, start: int):
+    position = start
+    length = len(sql)
+    while position < length and (sql[position].isalnum()
+                                 or sql[position] == "_"):
+        position += 1
+    text = sql[start:position]
+    upper = text.upper()
+    if upper in KEYWORDS:
+        return Token(TokenType.KEYWORD, upper, upper, start), position
+    return Token(TokenType.IDENT, text, text, start), position
+
+
+def _scan_string(sql: str, start: int):
+    quote = sql[start]
+    position = start + 1
+    pieces: List[str] = []
+    while position < len(sql):
+        char = sql[position]
+        if char == "\\" and position + 1 < len(sql):
+            pieces.append(sql[position + 1])
+            position += 2
+            continue
+        if char == quote:
+            text = sql[start:position + 1]
+            return (Token(TokenType.STRING, text, "".join(pieces), start),
+                    position + 1)
+        pieces.append(char)
+        position += 1
+    raise LexError("unterminated string literal", start)

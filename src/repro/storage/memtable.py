@@ -1,0 +1,212 @@
+"""In-memory table: schema + stream-focused indexes over skiplists.
+
+A :class:`MemTable` owns one :class:`~repro.storage.skiplist.TimeSeriesIndex`
+per declared :class:`~repro.schema.IndexDef`.  Every insert is validated
+against the schema, appended to all indexes, and (optionally) reported to a
+binlog subscriber — the hook the online engine's pre-aggregation update
+pipeline attaches to (Section 5.1).
+
+Window reads go through :meth:`window_scan` / :meth:`last_join_lookup`,
+which pick the index matching the requested ``PARTITION BY`` / ``ORDER BY``
+columns; full scans (offline mode) iterate the insertion log.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import threading
+from typing import (Any, Callable, Dict, Iterator, List, Optional, Sequence,
+                    Tuple)
+
+from ..errors import IndexNotFoundError, SchemaError, StorageError
+from ..schema import IndexDef, Row, Schema
+from ..types import ColumnType
+from .encoding import RowCodec
+from .skiplist import TimeSeriesIndex
+
+__all__ = ["MemTable", "normalize_ts"]
+
+InsertCallback = Callable[[str, Row, int], None]
+
+
+def normalize_ts(value: Any) -> int:
+    """Convert a timestamp column value to integer milliseconds."""
+    if isinstance(value, int):
+        return value
+    if isinstance(value, _dt.datetime):
+        return int(value.timestamp() * 1000)
+    raise StorageError(f"cannot use {value!r} as a timestamp")
+
+
+class MemTable:
+    """One in-memory table with stream-focused indexing.
+
+    Args:
+        name: table name.
+        schema: the column layout.
+        indexes: stream indexes; the first is the default access path.
+        replicas: replica count, used by the memory estimator and cluster
+            simulation (data itself is stored once in-process).
+        seed: RNG seed for skiplist level generation (reproducibility).
+    """
+
+    def __init__(self, name: str, schema: Schema,
+                 indexes: Sequence[IndexDef],
+                 replicas: int = 1,
+                 seed: Optional[int] = 0) -> None:
+        if not indexes:
+            raise SchemaError(f"table {name!r} needs at least one index")
+        for index in indexes:
+            for column_name in (*index.key_columns, index.ts_column):
+                if column_name not in schema:
+                    raise SchemaError(
+                        f"index {index.name!r} references unknown column "
+                        f"{column_name!r}")
+            ts_type = schema.column(index.ts_column).type
+            if ts_type not in (ColumnType.TIMESTAMP, ColumnType.BIGINT):
+                raise SchemaError(
+                    f"index {index.name!r}: ORDER BY column must be a "
+                    f"timestamp or bigint, got {ts_type.sql_name}")
+        self.name = name
+        self.schema = schema
+        self.indexes: Tuple[IndexDef, ...] = tuple(indexes)
+        self.replicas = replicas
+        self.codec = RowCodec(schema)
+        self._structures: Dict[str, TimeSeriesIndex] = {
+            index.name: TimeSeriesIndex(ttl=index.ttl, seed=seed)
+            for index in indexes
+        }
+        self._key_positions: Dict[str, Tuple[int, ...]] = {
+            index.name: tuple(schema.position(k) for k in index.key_columns)
+            for index in indexes
+        }
+        self._ts_positions: Dict[str, int] = {
+            index.name: schema.position(index.ts_column)
+            for index in indexes
+        }
+        self._log: List[Row] = []
+        self._log_lock = threading.Lock()
+        self._subscribers: List[InsertCallback] = []
+        self._bytes = 0
+
+    # ------------------------------------------------------------------
+    # write path
+
+    def subscribe(self, callback: InsertCallback) -> None:
+        """Register a callback invoked as ``callback(table, row, offset)``.
+
+        The offset is the row's position in the insertion log — the
+        monotone "binlog offset" of Section 5.1.
+        """
+        self._subscribers.append(callback)
+
+    def insert(self, row: Sequence[Any]) -> int:
+        """Validate and insert one row; returns its log offset."""
+        validated = self.schema.validate_row(row)
+        with self._log_lock:
+            offset = len(self._log)
+            self._log.append(validated)
+        self._bytes += self.codec.encoded_size(validated)
+        for index in self.indexes:
+            key = self._index_key(index.name, validated)
+            ts = normalize_ts(validated[self._ts_positions[index.name]])
+            self._structures[index.name].put(key, ts, validated)
+        for callback in self._subscribers:
+            callback(self.name, validated, offset)
+        return offset
+
+    def insert_many(self, rows: Sequence[Sequence[Any]]) -> int:
+        """Insert rows in order; returns the number inserted."""
+        for row in rows:
+            self.insert(row)
+        return len(rows)
+
+    def _index_key(self, index_name: str, row: Row) -> Any:
+        positions = self._key_positions[index_name]
+        if len(positions) == 1:
+            return row[positions[0]]
+        return tuple(row[position] for position in positions)
+
+    # ------------------------------------------------------------------
+    # read path
+
+    @property
+    def row_count(self) -> int:
+        return len(self._log)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Compact-encoded payload bytes currently held (for Table 2)."""
+        return self._bytes
+
+    def rows(self) -> Iterator[Row]:
+        """Full scan in insertion order (offline mode access path)."""
+        return iter(self._log)
+
+    def find_index(self, keys: Sequence[str],
+                   ts: Optional[str] = None) -> IndexDef:
+        """Return the index serving ``PARTITION BY keys ORDER BY ts``.
+
+        Raises:
+            IndexNotFoundError: when no declared index matches; the paper's
+                engine would reject the deployment at plan time, and so do we.
+        """
+        for index in self.indexes:
+            if index.matches(keys, ts):
+                return index
+        raise IndexNotFoundError(
+            f"table {self.name!r} has no index on keys={tuple(keys)} "
+            f"ts={ts!r}; declared: "
+            f"{[(i.key_columns, i.ts_column) for i in self.indexes]}")
+
+    def structure(self, index_name: str) -> TimeSeriesIndex:
+        return self._structures[index_name]
+
+    def window_scan(self, keys: Sequence[str], ts_column: str,
+                    key_value: Any, start_ts: Optional[int] = None,
+                    end_ts: Optional[int] = None,
+                    limit: Optional[int] = None
+                    ) -> Iterator[Tuple[int, Row]]:
+        """Yield ``(ts, row)`` newest-first for one partition key.
+
+        ``start_ts``/``end_ts`` bound the window as in
+        ``ROWS_RANGE BETWEEN end_ts AND start_ts`` (both inclusive);
+        ``limit`` caps the number of rows (``ROWS BETWEEN n PRECEDING``).
+        """
+        index = self.find_index(keys, ts_column)
+        return self._structures[index.name].scan(
+            key_value, start_ts=start_ts, end_ts=end_ts, limit=limit)
+
+    def last_join_lookup(self, keys: Sequence[str], key_value: Any,
+                         before_ts: Optional[int] = None
+                         ) -> Optional[Tuple[int, Row]]:
+        """Return the most recent ``(ts, row)`` matching ``key_value``.
+
+        With ``before_ts`` set, returns the newest row at or before that
+        timestamp (LAST JOIN ordered by ts against a request tuple).
+        """
+        index = self.find_index(keys)
+        structure = self._structures[index.name]
+        if before_ts is None:
+            return structure.latest(key_value)
+        for ts, row in structure.scan(key_value, start_ts=before_ts):
+            return ts, row
+        return None
+
+    # ------------------------------------------------------------------
+    # maintenance
+
+    def evict_expired(self, now_ts: int) -> int:
+        """Run TTL eviction on every index; returns tuples removed.
+
+        Note the insertion log is retained (it backs offline scans and
+        binlog replay); eviction frees the online access structures, which
+        is what bounds request-path memory.
+        """
+        return sum(structure.evict(now_ts)
+                   for structure in self._structures.values())
+
+    def key_cardinality(self, index_name: Optional[str] = None) -> int:
+        """Distinct key count on an index (defaults to the first)."""
+        name = index_name or self.indexes[0].name
+        return self._structures[name].key_count

@@ -1,0 +1,97 @@
+"""FEBench-inspired workload (extension).
+
+The paper's authors also published FEBench [Zhou et al., VLDB'23], a
+benchmark of real-world feature-extraction queries; its flagship query
+family computes trip-level features for a ride-hailing service.  This
+module reproduces that shape as an additional workload for the library:
+
+* a taxi-trip stream (driver id, pickup time, fare, distance, zone),
+* a feature script with several time windows of different lengths over
+  the same stream plus conditional and categorical aggregates — the
+  "many windows, one table" pattern the multi-window optimisation
+  targets.
+
+Used by the example/bench layer as a second realistic scenario beyond
+MicroBench.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Iterator, Tuple
+
+from ..schema import IndexDef, Schema
+
+__all__ = ["FEBenchConfig", "TRIP_SCHEMA", "TRIP_INDEX", "generate_trips",
+           "feature_sql"]
+
+TRIP_SCHEMA = Schema.from_pairs([
+    ("driver", "string"),
+    ("pickup_ts", "timestamp"),
+    ("fare", "double"),
+    ("distance", "double"),
+    ("zone", "string"),
+    ("tip", "double"),
+])
+
+TRIP_INDEX = IndexDef(key_columns=("driver",), ts_column="pickup_ts")
+
+_ZONES = ("airport", "downtown", "suburb", "industrial", "campus")
+
+
+@dataclasses.dataclass(frozen=True)
+class FEBenchConfig:
+    drivers: int = 100
+    trips: int = 20_000
+    seed: int = 37
+    start_ts: int = 1_680_000_000_000
+    mean_gap_ms: int = 180_000  # a trip every ~3 minutes fleet-wide
+
+
+def generate_trips(config: FEBenchConfig = FEBenchConfig()
+                   ) -> Iterator[Tuple]:
+    """Yield trip rows in pickup-time order."""
+    rng = random.Random(config.seed)
+    ts = config.start_ts
+    for _ in range(config.trips):
+        distance = max(rng.lognormvariate(1.0, 0.6), 0.3)
+        fare = round(2.5 + distance * rng.uniform(1.2, 2.2), 2)
+        yield (
+            f"d{rng.randrange(config.drivers):04d}",
+            ts,
+            fare,
+            round(distance, 3),
+            rng.choice(_ZONES),
+            round(fare * rng.uniform(0.0, 0.3), 2),
+        )
+        ts += rng.randrange(1, 2 * config.mean_gap_ms)
+
+
+def feature_sql() -> str:
+    """The FEBench-style trip feature script.
+
+    Four windows of different spans over one stream — short-horizon
+    activity, shift-level earnings, long-horizon behaviour — plus
+    conditional and categorical aggregates from the extended function
+    set.
+    """
+    return (
+        "SELECT driver, "
+        "  count(fare) OVER w1h AS trips_1h, "
+        "  sum(fare) OVER w8h AS earnings_8h, "
+        "  avg(distance) OVER w8h AS avg_distance_8h, "
+        "  max(fare) OVER w7d AS best_fare_7d, "
+        "  stddev(fare) OVER w7d AS fare_stddev_7d, "
+        "  sum_where(fare, distance > 5.0) OVER w7d AS long_trip_rev_7d, "
+        "  avg_cate(fare, zone) OVER w30d AS fare_by_zone_30d, "
+        "  topn_frequency(zone, 3) OVER w30d AS top_zones_30d "
+        "FROM trips WINDOW "
+        "  w1h AS (PARTITION BY driver ORDER BY pickup_ts "
+        "    ROWS_RANGE BETWEEN 1h PRECEDING AND CURRENT ROW), "
+        "  w8h AS (PARTITION BY driver ORDER BY pickup_ts "
+        "    ROWS_RANGE BETWEEN 8h PRECEDING AND CURRENT ROW), "
+        "  w7d AS (PARTITION BY driver ORDER BY pickup_ts "
+        "    ROWS_RANGE BETWEEN 7d PRECEDING AND CURRENT ROW), "
+        "  w30d AS (PARTITION BY driver ORDER BY pickup_ts "
+        "    ROWS_RANGE BETWEEN 30d PRECEDING AND CURRENT ROW)")

@@ -1,0 +1,162 @@
+"""MicroBench workload generator (paper Section 9.1).
+
+The paper's micro-benchmark drives three stream tables through feature
+scripts with adjustable knobs: number of windows, number of LAST JOIN
+operations, rows per window, cardinality of the indexed key column, and
+column/feature counts.  This module generates the same shape of data and
+builds the matching OpenMLDB SQL, so every hyper-parameter figure
+(Figures 14–17, Table 3) sweeps one knob of :class:`MicroBenchConfig`.
+
+All generation is deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Tuple
+
+from ..schema import IndexDef, Schema
+
+__all__ = ["MicroBenchConfig", "MicroBenchData", "generate",
+           "build_feature_sql"]
+
+MAIN_TABLE = "mb_main"
+UNION_TABLES = ("mb_stream2", "mb_stream3")
+
+
+@dataclasses.dataclass(frozen=True)
+class MicroBenchConfig:
+    """Workload knobs (defaults match the mid-scale paper setup)."""
+
+    keys: int = 100                 # cardinality of the indexed column
+    rows_per_key: int = 100         # stream depth per key
+    value_columns: int = 4          # numeric feature source columns
+    windows: int = 2                # window count in the script
+    window_rows: int = 50           # ROWS frame size per window
+    joins: int = 1                  # LAST JOIN count
+    union_tables: int = 2           # stream tables joined into windows
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.union_tables <= len(UNION_TABLES):
+            raise ValueError(
+                f"union_tables must be in [0, {len(UNION_TABLES)}]")
+        if self.windows < 1 or self.value_columns < 1:
+            raise ValueError("windows/value_columns must be >= 1")
+
+
+@dataclasses.dataclass
+class MicroBenchData:
+    """Generated tables + request stream for one configuration."""
+
+    config: MicroBenchConfig
+    schemas: Dict[str, Schema]
+    indexes: Dict[str, List[IndexDef]]
+    rows: Dict[str, List[Tuple]]
+    requests: List[Tuple]
+
+
+def _stream_schema(value_columns: int) -> Schema:
+    pairs = [("key", "string"), ("ts", "timestamp")]
+    pairs.extend((f"v{index}", "double") for index in range(value_columns))
+    pairs.append(("tag", "string"))
+    return Schema.from_pairs(pairs)
+
+
+def _dim_schema(index: int) -> Schema:
+    return Schema.from_pairs([
+        ("key", "string"), ("dts", "timestamp"),
+        (f"attr{index}", "double"),
+    ])
+
+
+def dim_table_name(index: int) -> str:
+    return f"mb_dim{index}"
+
+
+def generate(config: MicroBenchConfig,
+             request_count: int = 200) -> MicroBenchData:
+    """Generate deterministic MicroBench tables and a request stream."""
+    rng = random.Random(config.seed)
+    stream_schema = _stream_schema(config.value_columns)
+    schemas: Dict[str, Schema] = {MAIN_TABLE: stream_schema}
+    indexes: Dict[str, List[IndexDef]] = {
+        MAIN_TABLE: [IndexDef(("key",), "ts")]}
+    rows: Dict[str, List[Tuple]] = {MAIN_TABLE: []}
+    for table in UNION_TABLES[:config.union_tables]:
+        schemas[table] = stream_schema
+        indexes[table] = [IndexDef(("key",), "ts")]
+        rows[table] = []
+    for join_index in range(config.joins):
+        table = dim_table_name(join_index)
+        schemas[table] = _dim_schema(join_index)
+        indexes[table] = [IndexDef(("key",), "dts")]
+        rows[table] = []
+
+    tags = ("alpha", "beta", "gamma", "delta")
+    stream_tables = [MAIN_TABLE, *UNION_TABLES[:config.union_tables]]
+    base_ts = 1_600_000_000_000
+    for key_index in range(config.keys):
+        key = f"k{key_index:05d}"
+        for row_index in range(config.rows_per_key):
+            ts = base_ts + row_index * 1_000 + key_index
+            values = tuple(round(rng.uniform(1.0, 100.0), 3)
+                           for _ in range(config.value_columns))
+            table = stream_tables[row_index % len(stream_tables)]
+            rows[table].append((key, ts, *values, rng.choice(tags)))
+        for join_index in range(config.joins):
+            rows[dim_table_name(join_index)].append(
+                (key, base_ts - 1, round(rng.uniform(0.0, 1.0), 6)))
+
+    requests: List[Tuple] = []
+    request_ts = base_ts + config.rows_per_key * 1_000 + 1
+    for _ in range(request_count):
+        key = f"k{rng.randrange(config.keys):05d}"
+        values = tuple(round(rng.uniform(1.0, 100.0), 3)
+                       for _ in range(config.value_columns))
+        requests.append((key, request_ts, *values, rng.choice(tags)))
+    return MicroBenchData(config=config, schemas=schemas, indexes=indexes,
+                          rows=rows, requests=requests)
+
+
+def build_feature_sql(config: MicroBenchConfig) -> str:
+    """Build the MicroBench feature script for a configuration.
+
+    Each window carries aggregates over every value column (sum/avg/min/
+    max/count cycle), so the feature count scales with
+    ``windows × value_columns``.
+    """
+    aggregates = ("sum", "avg", "min", "max", "count")
+    select_parts: List[str] = [f"{MAIN_TABLE}.key AS out_key"]
+    feature_index = 0
+    for window_index in range(config.windows):
+        window_name = f"w{window_index}"
+        for value_index in range(config.value_columns):
+            aggregate = aggregates[feature_index % len(aggregates)]
+            select_parts.append(
+                f"{aggregate}(v{value_index}) OVER {window_name} "
+                f"AS f{feature_index}")
+            feature_index += 1
+    for join_index in range(config.joins):
+        select_parts.append(
+            f"{dim_table_name(join_index)}.attr{join_index} "
+            f"AS j{join_index}")
+
+    join_clauses = "".join(
+        f" LAST JOIN {dim_table_name(join_index)} ORDER BY dts "
+        f"ON {MAIN_TABLE}.key = {dim_table_name(join_index)}.key"
+        for join_index in range(config.joins))
+
+    union_prefix = ""
+    if config.union_tables:
+        union_list = ", ".join(UNION_TABLES[:config.union_tables])
+        union_prefix = f"UNION {union_list} "
+    window_clauses = ", ".join(
+        f"w{window_index} AS ({union_prefix}PARTITION BY key ORDER BY ts "
+        f"ROWS BETWEEN {config.window_rows - 1 + window_index} PRECEDING "
+        f"AND CURRENT ROW)"
+        for window_index in range(config.windows))
+
+    return (f"SELECT {', '.join(select_parts)} FROM {MAIN_TABLE}"
+            f"{join_clauses} WINDOW {window_clauses}")

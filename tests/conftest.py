@@ -1,0 +1,41 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.schema import IndexDef, Schema
+
+
+def values_close(left, right, rel_tol: float = 1e-9) -> bool:
+    """Tuple comparison tolerant of float aggregation order."""
+    if isinstance(left, float) and isinstance(right, float):
+        return math.isclose(left, right, rel_tol=rel_tol, abs_tol=1e-9)
+    return left == right
+
+
+def rows_equal(left_rows, right_rows, rel_tol: float = 1e-9) -> bool:
+    if len(left_rows) != len(right_rows):
+        return False
+    for left, right in zip(left_rows, right_rows):
+        if len(left) != len(right):
+            return False
+        for a, b in zip(left, right):
+            if not values_close(a, b, rel_tol):
+                return False
+    return True
+
+
+@pytest.fixture
+def events_schema() -> Schema:
+    return Schema.from_pairs([
+        ("key", "string"), ("ts", "timestamp"), ("value", "double"),
+        ("label", "string"),
+    ])
+
+
+@pytest.fixture
+def events_index() -> IndexDef:
+    return IndexDef(key_columns=("key",), ts_column="ts")

@@ -1,0 +1,67 @@
+"""Tests for the benchmark harness utilities."""
+
+import pytest
+
+from repro.bench.harness import (LatencyStats, measure_latencies,
+                                 measure_throughput, print_series,
+                                 print_table, speedup)
+
+
+class TestLatencyStats:
+    def test_percentiles_on_known_data(self):
+        # 100 samples: 1ms..100ms.
+        seconds = [i / 1000 for i in range(1, 101)]
+        stats = LatencyStats.from_seconds(seconds)
+        assert stats.samples == 100
+        assert stats.tp50 == pytest.approx(50.0)
+        assert stats.tp90 == pytest.approx(90.0)
+        assert stats.tp99 == pytest.approx(99.0)
+        assert stats.tp999 == pytest.approx(100.0)
+        assert stats.mean == pytest.approx(50.5)
+
+    def test_single_sample(self):
+        stats = LatencyStats.from_seconds([0.002])
+        assert stats.tp50 == stats.tp999 == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyStats.from_seconds([])
+
+    def test_row_shape(self):
+        stats = LatencyStats.from_seconds([0.001])
+        assert set(stats.row()) == {"TP50", "TP90", "TP95", "TP99",
+                                    "TP999"}
+
+
+class TestMeasurement:
+    def test_warmup_excluded(self):
+        calls = []
+        stats = measure_latencies(calls.append, range(10), warmup=3)
+        assert len(calls) == 10        # all executed
+        assert stats.samples == 7      # warmup not recorded
+
+    def test_warmup_exceeding_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            measure_latencies(lambda x: x, range(2), warmup=5)
+
+    def test_throughput_positive(self):
+        assert measure_throughput(lambda x: x, range(100)) > 0
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        assert speedup(1.0, 0.0) == float("inf")
+
+
+class TestPrinting:
+    def test_print_table(self, capsys):
+        print_table("demo", ["a", "b"], [[1, 2.5], ["x", 1_000_000.0]])
+        output = capsys.readouterr().out
+        assert "demo" in output
+        assert "a" in output and "b" in output
+        assert "1.000e+06" in output  # large floats in scientific form
+
+    def test_print_series(self, capsys):
+        print_series("s", "x", [1, 2], {"sys": [10, 20]})
+        output = capsys.readouterr().out
+        assert "sys" in output
+        assert output.count("\n") >= 4

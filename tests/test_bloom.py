@@ -1,0 +1,63 @@
+"""Tests for the LSM bloom filters."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.schema import IndexDef, Schema
+from repro.storage.disk import BloomFilter, DiskTable
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        keys = [f"key-{index}" for index in range(500)]
+        bloom = BloomFilter(keys)
+        assert all(bloom.may_contain(key) for key in keys)
+
+    def test_mostly_rules_out_absent_keys(self):
+        bloom = BloomFilter([f"present-{index}" for index in range(1000)])
+        false_positives = sum(
+            1 for index in range(1000)
+            if bloom.may_contain(f"absent-{index}"))
+        assert false_positives < 50  # ≈1% expected at 10 bits/key
+
+    def test_empty_filter(self):
+        bloom = BloomFilter([])
+        # Tiny filters may alias, but construction must work.
+        bloom.may_contain("anything")
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.text(min_size=1, max_size=10), min_size=1,
+                    max_size=100))
+    def test_membership_property(self, keys):
+        bloom = BloomFilter(keys)
+        assert all(bloom.may_contain(key) for key in keys)
+
+
+class TestBloomInLSM:
+    def test_point_reads_skip_irrelevant_runs(self):
+        schema = Schema.from_pairs([
+            ("k", "string"), ("ts", "timestamp"), ("v", "double")])
+        table = DiskTable("t", schema, [IndexDef(("k",), "ts")],
+                          flush_threshold=10)
+        # Two flushed runs with disjoint key populations.
+        for index in range(10):
+            table.insert((f"alpha{index}", index, 0.0))
+        for index in range(10):
+            table.insert((f"beta{index}", index, 0.0))
+        assert table.flushes == 2
+        table.bloom_skips = 0
+        list(table.window_scan(("k",), "ts", "alpha3"))
+        # The beta run was (almost certainly) skipped via its filter.
+        assert table.bloom_skips >= 1
+
+    def test_results_identical_with_filters(self):
+        schema = Schema.from_pairs([
+            ("k", "string"), ("ts", "timestamp"), ("v", "double")])
+        table = DiskTable("t", schema, [IndexDef(("k",), "ts")],
+                          flush_threshold=5)
+        for index in range(25):
+            table.insert((f"k{index % 4}", index, float(index)))
+        scanned = [ts for ts, _ in table.window_scan(("k",), "ts", "k1")]
+        assert scanned == sorted(
+            (index for index in range(25) if index % 4 == 1),
+            reverse=True)

@@ -1,0 +1,127 @@
+"""Tests for the simulated cluster (tablets + nameserver)."""
+
+import pytest
+
+from repro.errors import MemoryLimitExceededError, StorageError
+from repro.schema import IndexDef, Schema
+from repro.cluster import NameServer, TabletServer
+
+
+@pytest.fixture
+def schema():
+    return Schema.from_pairs([
+        ("user", "string"), ("ts", "timestamp"), ("v", "double")])
+
+
+@pytest.fixture
+def cluster(schema):
+    tablets = [TabletServer(f"tablet-{i}") for i in range(3)]
+    nameserver = NameServer(tablets)
+    nameserver.create_table("t", schema, [IndexDef(("user",), "ts")],
+                            partitions=4, replicas=2)
+    return nameserver
+
+
+class TestPlacement:
+    def test_every_partition_has_replica_group(self, cluster):
+        table = cluster.tables["t"]
+        for partition_id in range(4):
+            assert len(table.assignment[partition_id]) == 2
+
+    def test_replicas_on_distinct_tablets(self, cluster):
+        table = cluster.tables["t"]
+        for tablet_names in table.assignment.values():
+            assert len(set(tablet_names)) == 2
+
+    def test_leaders_assigned(self, cluster):
+        for partition_id in range(4):
+            cluster.leader_of("t", partition_id)  # must not raise
+
+    def test_too_many_replicas_rejected(self, schema):
+        nameserver = NameServer([TabletServer("only")])
+        with pytest.raises(StorageError):
+            nameserver.create_table("t", schema,
+                                    [IndexDef(("user",), "ts")],
+                                    replicas=2)
+
+    def test_duplicate_table_rejected(self, cluster, schema):
+        with pytest.raises(StorageError):
+            cluster.create_table("t", schema, [IndexDef(("user",), "ts")])
+
+
+class TestDataPath:
+    def test_put_replicates_to_all_live_replicas(self, cluster):
+        cluster.put("t", ("u1", 100, 1.0))
+        table = cluster.tables["t"]
+        partition_id = cluster.partition_for("t", "u1")
+        for tablet_name in table.assignment[partition_id]:
+            shard = cluster.tablets[tablet_name].shard("t", partition_id)
+            assert shard.store.row_count == 1
+            assert shard.applied_offset == 0
+
+    def test_get_latest(self, cluster):
+        cluster.put("t", ("u1", 100, 1.0))
+        cluster.put("t", ("u1", 200, 2.0))
+        hit = cluster.get_latest("t", "u1")
+        assert hit[0] == 200
+        assert hit[1][2] == 2.0
+
+    def test_get_latest_miss(self, cluster):
+        assert cluster.get_latest("t", "ghost") is None
+
+    def test_offsets_are_per_partition_monotone(self, cluster):
+        for index in range(10):
+            cluster.put("t", (f"u{index}", index, 0.0))
+        table = cluster.tables["t"]
+        assert sum(table.next_offset.values()) == 10
+
+
+class TestFailover:
+    def test_failure_promotes_follower(self, cluster):
+        cluster.put("t", ("u1", 100, 1.0))
+        partition_id = cluster.partition_for("t", "u1")
+        leader = cluster.leader_of("t", partition_id)
+        transfers = cluster.handle_failure(leader.name)
+        assert transfers >= 1
+        new_leader = cluster.leader_of("t", partition_id)
+        assert new_leader.name != leader.name
+        assert new_leader.alive
+
+    def test_reads_survive_failure(self, cluster):
+        cluster.put("t", ("u1", 100, 1.0))
+        partition_id = cluster.partition_for("t", "u1")
+        leader = cluster.leader_of("t", partition_id)
+        cluster.handle_failure(leader.name)
+        assert cluster.get_latest("t", "u1")[0] == 100
+
+    def test_writes_continue_after_failover(self, cluster):
+        cluster.put("t", ("u1", 100, 1.0))
+        partition_id = cluster.partition_for("t", "u1")
+        cluster.handle_failure(cluster.leader_of("t", partition_id).name)
+        cluster.put("t", ("u1", 200, 2.0))
+        assert cluster.get_latest("t", "u1")[0] == 200
+
+    def test_dead_tablet_rejects_io(self, cluster):
+        tablet = next(iter(cluster.tablets.values()))
+        tablet.fail()
+        with pytest.raises(StorageError):
+            tablet.write("t", 0, ("u", 1, 0.0), 0)
+
+    def test_recovery(self, cluster):
+        tablet = next(iter(cluster.tablets.values()))
+        tablet.fail()
+        tablet.recover()
+        assert tablet.alive
+
+
+class TestMemoryIsolation:
+    def test_tablet_memory_limit_fails_writes_only(self, schema):
+        tablet = TabletServer("small", max_memory_mb=1)
+        nameserver = NameServer([tablet])
+        nameserver.create_table("t", schema, [IndexDef(("user",), "ts")],
+                                partitions=1, replicas=1)
+        with pytest.raises(MemoryLimitExceededError):
+            for index in range(100_000):
+                nameserver.put("t", (f"user{index}", index, 1.0))
+        # Reads still served.
+        assert nameserver.get_latest("t", "user0") is not None

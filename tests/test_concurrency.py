@@ -1,0 +1,106 @@
+"""Concurrency tests: lock-free reads under writes (paper Section 7.2)."""
+
+import threading
+
+import pytest
+
+from repro import OpenMLDB
+from repro.schema import IndexDef, Schema
+from repro.storage.skiplist import TimeSeriesIndex
+
+
+class TestSkiplistReadersWriters:
+    def test_scans_never_crash_under_inserts(self):
+        index = TimeSeriesIndex(seed=0)
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            ts = 0
+            while not stop.is_set():
+                index.put(f"k{ts % 5}", ts, ts)
+                ts += 1
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    for key in ("k0", "k3"):
+                        stamps = [ts for ts, _ in index.scan(key,
+                                                             limit=50)]
+                        # Reads must observe a consistent (sorted) view.
+                        assert stamps == sorted(stamps, reverse=True)
+                        index.latest(key)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        threading.Event().wait(0.5)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert not errors
+
+
+class TestConcurrentRequests:
+    def test_parallel_requests_agree_with_serial(self):
+        db = OpenMLDB()
+        schema = Schema.from_pairs([
+            ("k", "string"), ("ts", "timestamp"), ("v", "double")])
+        db.create_table("t", schema, indexes=[IndexDef(("k",), "ts")])
+        for key in range(5):
+            for index in range(100):
+                db.insert("t", (f"k{key}", index * 10, float(index % 7)))
+        db.deploy("d", (
+            "SELECT k, sum(v) OVER w AS s, count(v) OVER w AS c FROM t "
+            "WINDOW w AS (PARTITION BY k ORDER BY ts "
+            "ROWS_RANGE BETWEEN 200 PRECEDING AND CURRENT ROW)"))
+        requests = [(f"k{i % 5}", 2_000, 1.0) for i in range(40)]
+        expected = [db.request_row("d", row) for row in requests]
+
+        from concurrent.futures import ThreadPoolExecutor
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            got = list(pool.map(lambda row: db.request_row("d", row),
+                                requests))
+        assert got == expected
+
+    def test_requests_during_inserts(self):
+        db = OpenMLDB()
+        schema = Schema.from_pairs([
+            ("k", "string"), ("ts", "timestamp"), ("v", "double")])
+        db.create_table("t", schema, indexes=[IndexDef(("k",), "ts")])
+        db.insert("t", ("a", 0, 1.0))
+        db.deploy("d", (
+            "SELECT count(v) OVER w AS c FROM t WINDOW w AS "
+            "(PARTITION BY k ORDER BY ts "
+            "ROWS_RANGE BETWEEN 1d PRECEDING AND CURRENT ROW)"))
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            ts = 1
+            while not stop.is_set():
+                db.insert("t", ("a", ts, 1.0))
+                ts += 1
+
+        def requester():
+            try:
+                while not stop.is_set():
+                    result = db.request("d", ("a", 10 ** 9, 1.0))
+                    assert result["c"] >= 1
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer),
+                   threading.Thread(target=requester),
+                   threading.Thread(target=requester)]
+        for thread in threads:
+            thread.start()
+        threading.Event().wait(0.4)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert not errors
+        db.close()

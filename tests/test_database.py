@@ -1,0 +1,237 @@
+"""Tests for the OpenMLDB session facade (core/database.py)."""
+
+import pytest
+
+from repro import OpenMLDB
+from repro.errors import (DeploymentError, DeploymentNotFoundError,
+                          MemoryLimitExceededError, ParseError, PlanError,
+                          SchemaError, TableExistsError, TableNotFoundError)
+from repro.schema import IndexDef, Schema, TTLKind
+
+
+DDL = ("CREATE TABLE trades (sym string, ts timestamp, px double, "
+       "qty int, INDEX(KEY=sym, TS=ts))")
+ROLLING = ("SELECT sym, sum(px) OVER w AS total FROM trades WINDOW w AS "
+           "(PARTITION BY sym ORDER BY ts "
+           "ROWS BETWEEN 1 PRECEDING AND CURRENT ROW)")
+
+
+@pytest.fixture
+def db():
+    database = OpenMLDB()
+    database.execute(DDL)
+    yield database
+    database.close()
+
+
+class TestDDL:
+    def test_create_via_sql(self, db):
+        table = db.table("trades")
+        assert table.schema.column_names == ("sym", "ts", "px", "qty")
+        assert table.indexes[0].key_columns == ("sym",)
+
+    def test_duplicate_table(self, db):
+        with pytest.raises(TableExistsError):
+            db.execute(DDL)
+
+    def test_unknown_table(self, db):
+        with pytest.raises(TableNotFoundError):
+            db.table("ghost")
+
+    def test_default_index_derived(self):
+        db = OpenMLDB()
+        table = db.create_table("t", Schema.from_pairs([
+            ("user", "string"), ("when", "timestamp"), ("v", "double")]))
+        assert table.indexes[0].key_columns == ("user",)
+        assert table.indexes[0].ts_column == "when"
+
+    def test_default_index_failure(self):
+        db = OpenMLDB()
+        with pytest.raises(SchemaError):
+            db.create_table("t", Schema.from_pairs([("v", "double")]))
+
+    def test_ttl_parsing(self):
+        db = OpenMLDB()
+        db.execute("CREATE TABLE t (k string, ts timestamp, "
+                   "INDEX(KEY=k, TS=ts, TTL=7d, TTL_TYPE=absolute))")
+        index = db.table("t").indexes[0]
+        assert index.ttl.kind is TTLKind.ABSOLUTE
+        assert index.ttl.abs_ttl_ms == 7 * 86_400_000
+
+    def test_latest_ttl_parsing(self):
+        db = OpenMLDB()
+        db.execute("CREATE TABLE t (k string, ts timestamp, "
+                   "INDEX(KEY=k, TS=ts, TTL=100, TTL_TYPE=latest))")
+        assert db.table("t").indexes[0].ttl.lat_ttl == 100
+
+    def test_disk_storage_engine(self):
+        db = OpenMLDB()
+        table = db.create_table(
+            "t", Schema.from_pairs([("k", "string"),
+                                    ("ts", "timestamp")]),
+            indexes=[IndexDef(("k",), "ts")], storage="disk")
+        db.insert("t", ("a", 5))
+        assert table.last_join_lookup(("k",), "a")[0] == 5
+
+    def test_unknown_storage_engine(self):
+        db = OpenMLDB()
+        with pytest.raises(SchemaError):
+            db.create_table(
+                "t", Schema.from_pairs([("k", "string"),
+                                        ("ts", "timestamp")]),
+                indexes=[IndexDef(("k",), "ts")], storage="tape")
+
+
+class TestDML:
+    def test_insert_via_sql(self, db):
+        count = db.execute(
+            "INSERT INTO trades VALUES ('A', 100, 10.5, 1), "
+            "('A', 200, 11.0, 2)")
+        assert count == 2
+        assert db.table("trades").row_count == 2
+
+    def test_insert_validates(self, db):
+        with pytest.raises(Exception):
+            db.insert("trades", ("A", "bad", 1.0, 1))
+
+    def test_inserts_flow_to_binlog(self, db):
+        db.insert("trades", ("A", 100, 1.0, 1))
+        db.insert("trades", ("A", 200, 2.0, 1))
+        assert db.replicator.last_offset == 1
+
+
+class TestDeployAndRequest:
+    def test_deploy_and_request(self, db):
+        db.insert("trades", ("A", 100, 10.0, 1))
+        db.deploy("d", ROLLING)
+        features = db.request("d", ("A", 200, 20.0, 1))
+        assert features == {"sym": "A", "total": 30.0}
+
+    def test_deploy_via_sql_statement(self, db):
+        deployment = db.execute("DEPLOY d " + ROLLING)
+        assert deployment.name == "d"
+        assert "d" in db.deployments
+
+    def test_duplicate_deployment_rejected(self, db):
+        db.deploy("d", ROLLING)
+        with pytest.raises(DeploymentError):
+            db.deploy("d", ROLLING)
+
+    def test_undeploy(self, db):
+        db.deploy("d", ROLLING)
+        db.undeploy("d")
+        with pytest.raises(DeploymentNotFoundError):
+            db.request("d", ("A", 1, 1.0, 1))
+
+    def test_request_unknown_deployment(self, db):
+        with pytest.raises(DeploymentNotFoundError):
+            db.request("ghost", ("A", 1, 1.0, 1))
+
+    def test_redeploy_hits_compile_cache(self, db):
+        db.deploy("d1", ROLLING)
+        db.deploy("d2", ROLLING)
+        assert db.compile_cache.hits == 1
+
+    def test_long_window_option_via_sql(self, db):
+        sql = ('DEPLOY lw OPTIONS(long_windows="w:1h") '
+               "SELECT sym, sum(px) OVER w AS total FROM trades WINDOW w "
+               "AS (PARTITION BY sym ORDER BY ts "
+               "ROWS_RANGE BETWEEN 30d PRECEDING AND CURRENT ROW)")
+        deployment = db.execute(sql)
+        assert deployment.uses_preagg
+        assert "w" in deployment.preaggs
+
+    def test_long_window_rows_frame_rejected(self, db):
+        with pytest.raises(DeploymentError):
+            db.deploy("lw", ROLLING, long_windows="w:1h")
+
+    def test_preagg_request_matches_raw(self, db):
+        for index in range(500):
+            db.insert("trades", ("A", index * 3_600_000,
+                                 float(index % 10), 1))
+        sql = ("SELECT sym, sum(px) OVER w AS total FROM trades WINDOW w "
+               "AS (PARTITION BY sym ORDER BY ts "
+               "ROWS_RANGE BETWEEN 20d PRECEDING AND CURRENT ROW)")
+        db.deploy("raw", sql)
+        db.deploy("fast", sql.replace("total", "total2"),
+                  long_windows="w:1d")
+        db.flush_preagg()
+        request = ("A", 500 * 3_600_000, 7.0, 1)
+        raw = db.request("raw", request)["total"]
+        fast = db.request("fast", request)["total2"]
+        assert fast == pytest.approx(raw)
+
+    def test_preagg_updates_on_insert(self, db):
+        sql = ("SELECT sum(px) OVER w AS total FROM trades WINDOW w AS "
+               "(PARTITION BY sym ORDER BY ts "
+               "ROWS_RANGE BETWEEN 30d PRECEDING AND CURRENT ROW)")
+        db.deploy("lw", sql, long_windows="w:1h")
+        db.insert("trades", ("A", 3_600_000, 5.0, 1))
+        db.flush_preagg()
+        aggregator = next(iter(db.deployments["lw"].preaggs["w"].values()))
+        assert aggregator.rows_absorbed == 1
+
+
+class TestOfflineAndPreview:
+    def test_offline_query(self, db):
+        db.insert("trades", ("A", 100, 10.0, 1))
+        db.insert("trades", ("A", 200, 20.0, 1))
+        rows, stats = db.offline_query(ROLLING)
+        assert rows == [("A", 10.0), ("A", 30.0)]
+        assert stats.rows == 2
+
+    def test_execute_select_uses_offline_mode(self, db):
+        db.insert("trades", ("A", 100, 10.0, 1))
+        rows = db.execute(ROLLING)
+        assert rows == [("A", 10.0)]
+
+    def test_preview_limits_and_caches(self, db):
+        for index in range(30):
+            db.insert("trades", ("A", index, 1.0, 1))
+        first = db.preview(ROLLING, limit=5)
+        assert len(first) == 5
+        second = db.preview(ROLLING, limit=5)
+        assert second is first  # served from the preview cache
+
+    def test_preview_row_cap(self, db):
+        with pytest.raises(PlanError):
+            db.preview(ROLLING, limit=10_000)
+
+    def test_preview_rejects_non_select(self, db):
+        with pytest.raises(ParseError):
+            db.preview(DDL.replace("trades", "other"))
+
+    def test_preview_limits_partition_columns(self):
+        db = OpenMLDB()
+        db.execute("CREATE TABLE w (a string, b string, c string, "
+                   "d string, e string, ts timestamp, v double, "
+                   "INDEX(KEY=(a, b, c, d, e), TS=ts))")
+        with pytest.raises(PlanError, match="partition"):
+            db.preview(
+                "SELECT sum(v) OVER win AS s FROM w WINDOW win AS "
+                "(PARTITION BY a, b, c, d, e ORDER BY ts "
+                "ROWS BETWEEN 1 PRECEDING AND CURRENT ROW)")
+
+
+class TestMemoryIsolation:
+    def test_writes_fail_reads_continue(self):
+        db = OpenMLDB(max_memory_mb=1)
+        db.execute(DDL)
+        with pytest.raises(MemoryLimitExceededError):
+            for index in range(200_000):
+                db.insert("trades", (f"s{index}", index, 1.0, 1))
+        # Reads still work after write rejection.
+        assert db.table("trades").row_count > 0
+        rows, _ = db.offline_query("SELECT sym FROM trades LIMIT 1")
+        assert rows
+
+
+class TestEviction:
+    def test_evict_expired_via_db(self):
+        db = OpenMLDB()
+        db.execute("CREATE TABLE t (k string, ts timestamp, "
+                   "INDEX(KEY=k, TS=ts, TTL=1m, TTL_TYPE=absolute))")
+        db.insert("t", ("a", 0))
+        db.insert("t", ("a", 120_000))
+        removed = db.evict_expired(now_ts=120_001)
+        assert removed == 1

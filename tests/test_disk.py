@@ -1,0 +1,123 @@
+"""Tests for the LSM on-disk engine (paper Section 7.3)."""
+
+import pytest
+
+from repro.schema import IndexDef, Schema, TTLKind, TTLSpec
+from repro.storage.disk import ColumnFamily, DiskTable, SSTable
+
+
+@pytest.fixture
+def disk_table(events_schema, events_index):
+    return DiskTable("events", events_schema, [events_index],
+                     flush_threshold=10)
+
+
+class TestSSTable:
+    def test_scan_key_newest_first(self):
+        entries = [("a", -10, 0, ("a", 10)), ("a", -30, 1, ("a", 30)),
+                   ("b", -5, 2, ("b", 5))]
+        sstable = SSTable(entries)
+        assert [ts for ts, _ in sstable.scan_key("a")] == [30, 10]
+        assert [ts for ts, _ in sstable.scan_key("b")] == [5]
+        assert list(sstable.scan_key("zzz")) == []
+
+
+class TestColumnFamily:
+    def _family(self, ttl=TTLSpec()):
+        index = IndexDef(("key",), "ts", ttl=ttl)
+        return ColumnFamily(index)
+
+    def test_merge_across_runs(self):
+        family = self._family()
+        family.add_sstable(SSTable([("a", -10, 0, "r10")]))
+        family.add_sstable(SSTable([("a", -20, 1, "r20")]))
+        assert [ts for ts, _ in family.scan_key("a")] == [20, 10]
+
+    def test_compaction_merges_to_one_run(self):
+        family = self._family()
+        family.add_sstable(SSTable([("a", -10, 0, "x")]))
+        family.add_sstable(SSTable([("a", -20, 1, "y")]))
+        evicted = family.compact(now_ts=100)
+        assert evicted == 0
+        assert len(family.sstables) == 1
+        assert family.compactions == 1
+
+    def test_compaction_applies_absolute_ttl(self):
+        family = self._family(TTLSpec(kind=TTLKind.ABSOLUTE, abs_ttl_ms=50))
+        family.add_sstable(SSTable([
+            ("a", -10, 0, "old"), ("a", -90, 1, "new")]))
+        evicted = family.compact(now_ts=100)
+        assert evicted == 1
+        assert [ts for ts, _ in family.scan_key("a")] == [90]
+
+    def test_compaction_applies_latest_ttl(self):
+        family = self._family(TTLSpec(kind=TTLKind.LATEST, lat_ttl=2))
+        family.add_sstable(SSTable([
+            ("a", -ts, ts, f"r{ts}") for ts in (10, 20, 30, 40)]))
+        evicted = family.compact(now_ts=1000)
+        assert evicted == 2
+        assert [ts for ts, _ in family.scan_key("a")] == [40, 30]
+
+
+class TestDiskTable:
+    def test_reads_merge_memtable_and_ssts(self, disk_table):
+        for ts in range(25):  # crosses two flush thresholds
+            disk_table.insert(("a", ts, float(ts), "x"))
+        assert disk_table.sstable_count() >= 2 or disk_table.flushes >= 2
+        scanned = [ts for ts, _ in disk_table.window_scan(
+            ("key",), "ts", "a")]
+        assert scanned == list(range(24, -1, -1))
+
+    def test_last_join_lookup(self, disk_table):
+        disk_table.insert(("a", 5, 1.0, "x"))
+        disk_table.flush()
+        disk_table.insert(("a", 9, 2.0, "y"))
+        hit = disk_table.last_join_lookup(("key",), "a")
+        assert hit[0] == 9
+
+    def test_window_scan_bounds_and_limit(self, disk_table):
+        for ts in range(0, 100, 10):
+            disk_table.insert(("a", ts, 0.0, "x"))
+        disk_table.flush()
+        bounded = [ts for ts, _ in disk_table.window_scan(
+            ("key",), "ts", "a", start_ts=70, end_ts=40)]
+        assert bounded == [70, 60, 50, 40]
+        limited = list(disk_table.window_scan(("key",), "ts", "a",
+                                              limit=2))
+        assert len(limited) == 2
+
+    def test_compact_evicts_by_ttl(self, events_schema):
+        ttl = TTLSpec(kind=TTLKind.ABSOLUTE, abs_ttl_ms=100)
+        table = DiskTable("t", events_schema,
+                          [IndexDef(("key",), "ts", ttl=ttl)],
+                          flush_threshold=4)
+        for ts in (0, 10, 20, 30, 990):
+            table.insert(("a", ts, 0.0, "x"))
+        table.flush()
+        evicted = table.compact(now_ts=1000)
+        assert evicted == 4
+        assert [ts for ts, _ in table.window_scan(("key",), "ts", "a")] \
+            == [990]
+
+    def test_rows_log_preserved(self, disk_table):
+        for ts in range(15):
+            disk_table.insert(("a", ts, 0.0, "x"))
+        assert disk_table.row_count == 15
+        assert len(list(disk_table.rows())) == 15
+
+    def test_disk_read_amplification_tracked(self, disk_table):
+        for ts in range(25):
+            disk_table.insert(("a", ts, 0.0, "x"))
+        before = disk_table.disk_reads
+        list(disk_table.window_scan(("key",), "ts", "a"))
+        assert disk_table.disk_reads > before
+
+    def test_shared_memtable_across_column_families(self, events_schema):
+        table = DiskTable("t", events_schema, [
+            IndexDef(("key",), "ts"),
+            IndexDef(("label",), "ts"),
+        ], flush_threshold=100)
+        table.insert(("a", 1, 0.0, "red"))
+        by_key = list(table.window_scan(("key",), "ts", "a"))
+        by_label = list(table.window_scan(("label",), "ts", "red"))
+        assert len(by_key) == 1 and len(by_label) == 1

@@ -1,0 +1,194 @@
+"""Tests for the compact row encoding (paper Section 7.1)."""
+
+import datetime
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import EncodingError
+from repro.schema import Schema
+from repro.storage.encoding import (RowCodec, encoded_size, redis_row_size,
+                                    spark_row_size)
+
+
+@pytest.fixture
+def mixed_schema():
+    return Schema.from_pairs([
+        ("flag", "bool"), ("small", "smallint"), ("n", "int"),
+        ("big", "bigint"), ("f", "float"), ("d", "double"),
+        ("when", "timestamp"), ("day", "date"), ("name", "string"),
+        ("tag", "string"),
+    ])
+
+
+class TestRoundTrip:
+    def test_simple_roundtrip(self, mixed_schema):
+        codec = RowCodec(mixed_schema)
+        row = (True, 12, 42, 1 << 40, 1.5, 2.25, 1_700_000_000_000,
+               datetime.date(2024, 2, 29), "hello", "world")
+        assert codec.decode(codec.encode(row)) == row
+
+    def test_nulls_roundtrip(self, mixed_schema):
+        codec = RowCodec(mixed_schema)
+        row = (None,) * 10
+        assert codec.decode(codec.encode(row)) == row
+
+    def test_mixed_nulls(self, mixed_schema):
+        codec = RowCodec(mixed_schema)
+        row = (False, None, 7, None, None, 3.5, 12345, None, None, "x")
+        assert codec.decode(codec.encode(row)) == row
+
+    def test_empty_string_distinct_from_null(self, mixed_schema):
+        codec = RowCodec(mixed_schema)
+        row = (True, 1, 1, 1, 1.0, 1.0, 1, datetime.date(2020, 1, 1),
+               "", None)
+        decoded = codec.decode(codec.encode(row))
+        assert decoded[8] == ""
+        assert decoded[9] is None
+
+    def test_unicode_strings(self):
+        schema = Schema.from_pairs([("s", "string")])
+        codec = RowCodec(schema)
+        row = ("héllo wörld — 中文",)
+        assert codec.decode(codec.encode(row)) == row
+
+    def test_size_field_matches_length(self, mixed_schema):
+        codec = RowCodec(mixed_schema)
+        row = (True, 1, 2, 3, 1.0, 2.0, 5, datetime.date(2021, 6, 1),
+               "abc", "defg")
+        encoded = codec.encode(row)
+        assert codec.encoded_size(row) == len(encoded)
+
+    def test_float_precision_is_single(self):
+        schema = Schema.from_pairs([("f", "float")])
+        codec = RowCodec(schema)
+        decoded = codec.decode(codec.encode((1.1,)))
+        assert decoded[0] == pytest.approx(1.1, rel=1e-6)
+
+
+class TestErrors:
+    def test_wrong_arity(self, mixed_schema):
+        with pytest.raises(EncodingError):
+            RowCodec(mixed_schema).encode((1, 2))
+
+    def test_schema_version_mismatch(self, mixed_schema):
+        writer = RowCodec(mixed_schema, schema_version=1)
+        reader = RowCodec(mixed_schema, schema_version=2)
+        data = writer.encode((None,) * 10)
+        with pytest.raises(EncodingError):
+            reader.decode(data)
+
+    def test_truncated_buffer(self, mixed_schema):
+        with pytest.raises(EncodingError):
+            RowCodec(mixed_schema).decode(b"\x01\x02")
+
+    def test_version_bounds(self, mixed_schema):
+        with pytest.raises(EncodingError):
+            RowCodec(mixed_schema, schema_version=64)
+
+
+class TestPaperExample:
+    """The worked example of Section 7.1: 20 ints + 20 floats + 20
+    one-byte strings + 5 timestamps → 255 B compact vs 556 B Spark."""
+
+    @pytest.fixture
+    def example(self):
+        pairs = ([(f"i{n}", "int") for n in range(20)]
+                 + [(f"f{n}", "float") for n in range(20)]
+                 + [(f"s{n}", "string") for n in range(20)]
+                 + [(f"t{n}", "timestamp") for n in range(5)])
+        schema = Schema(Schema.from_pairs(pairs).columns)
+        row = tuple([1] * 20 + [1.0] * 20 + ["x"] * 20 + [1] * 5)
+        return schema, row
+
+    def test_compact_size_is_255(self, example):
+        schema, row = example
+        assert encoded_size(schema, row) == 255
+
+    def test_spark_size_is_556(self, example):
+        schema, row = example
+        assert spark_row_size(schema, row) == 556
+
+    def test_memory_saving_over_54_percent(self, example):
+        schema, row = example
+        saving = 1 - encoded_size(schema, row) / spark_row_size(schema, row)
+        assert saving > 0.54
+
+    def test_encode_really_produces_255_bytes(self, example):
+        schema, row = example
+        assert len(RowCodec(schema).encode(row)) == 255
+
+
+class TestOffsetWidths:
+    def test_small_row_uses_one_byte_offsets(self):
+        schema = Schema.from_pairs([("a", "string"), ("b", "string")])
+        codec = RowCodec(schema)
+        # header 6 + bitmap 1 + 2×1B offsets + 2 bytes payload = 11
+        assert codec.encoded_size(("x", "y")) == 11
+
+    def test_larger_row_upgrades_offset_width(self):
+        schema = Schema.from_pairs([("a", "string")])
+        codec = RowCodec(schema)
+        big = "z" * 300
+        size = codec.encoded_size((big,))
+        # header 6 + bitmap 1 + 2B offset + 300 payload
+        assert size == 6 + 1 + 2 + 300
+        assert codec.decode(codec.encode((big,)))[0] == big
+
+    def test_huge_row_uses_four_byte_offsets(self):
+        schema = Schema.from_pairs([("a", "string")])
+        codec = RowCodec(schema)
+        big = "q" * 70_000
+        assert codec.encoded_size((big,)) == 6 + 1 + 4 + 70_000
+        assert codec.decode(codec.encode((big,)))[0] == big
+
+
+class TestRedisModel:
+    def test_redis_always_larger_than_compact(self, mixed_schema):
+        row = (True, 1, 2, 3, 1.0, 2.0, 5, datetime.date(2021, 6, 1),
+               "abc", "defg")
+        compact = encoded_size(mixed_schema, row)
+        redis = redis_row_size(mixed_schema, row, key_bytes=3)
+        assert redis > compact
+
+    def test_redis_counts_string_payloads(self):
+        schema = Schema.from_pairs([("s", "string")])
+        short = redis_row_size(schema, ("ab",), key_bytes=2)
+        long = redis_row_size(schema, ("ab" * 50,), key_bytes=2)
+        assert long - short == 98
+
+
+@st.composite
+def schema_and_row(draw):
+    type_pool = ["bool", "int", "bigint", "double", "timestamp", "string"]
+    count = draw(st.integers(min_value=1, max_value=12))
+    types = [draw(st.sampled_from(type_pool)) for _ in range(count)]
+    schema = Schema.from_pairs([(f"c{i}", t) for i, t in enumerate(types)])
+    row = []
+    for type_name in types:
+        if draw(st.integers(0, 4)) == 0:
+            row.append(None)
+        elif type_name == "bool":
+            row.append(draw(st.booleans()))
+        elif type_name == "int":
+            row.append(draw(st.integers(-(2 ** 31), 2 ** 31 - 1)))
+        elif type_name == "bigint":
+            row.append(draw(st.integers(-(2 ** 63), 2 ** 63 - 1)))
+        elif type_name == "double":
+            row.append(draw(st.floats(allow_nan=False,
+                                      allow_infinity=False, width=64)))
+        elif type_name == "timestamp":
+            row.append(draw(st.integers(0, 2 ** 62)))
+        else:
+            row.append(draw(st.text(max_size=40)))
+    return schema, tuple(row)
+
+
+@settings(max_examples=200, deadline=None)
+@given(schema_and_row())
+def test_roundtrip_property(case):
+    schema, row = case
+    codec = RowCodec(schema)
+    encoded = codec.encode(row)
+    assert codec.decode(encoded) == row
+    assert codec.encoded_size(row) == len(encoded)

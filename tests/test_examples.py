@@ -1,0 +1,27 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples")
+    .glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES,
+                         ids=lambda path: path.stem)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True,
+        timeout=300)
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip()  # examples narrate what they do
+
+
+def test_examples_cover_required_scenarios():
+    names = {path.stem for path in EXAMPLES}
+    assert "quickstart" in names
+    assert len(names) >= 3

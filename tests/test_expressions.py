@@ -1,0 +1,158 @@
+"""Tests for scalar expression compilation."""
+
+import pytest
+
+from repro.errors import CompileError, PlanError
+from repro.sql import ast
+from repro.sql.expressions import Scope, compile_expr
+from repro.sql.parser import parse_select
+
+
+def compile_from_sql(expr_text, columns=("a", "b", "s")):
+    statement = parse_select(f"SELECT {expr_text} AS e FROM t")
+    scope = Scope()
+    scope.add_namespace("t", columns)
+    return compile_expr(statement.items[0].expr, scope)
+
+
+class TestScope:
+    def test_resolution_by_qualifier(self):
+        scope = Scope()
+        scope.add_namespace("t", ["a", "b"])
+        scope.add_namespace("u", ["a"])
+        assert scope.resolve(ast.ColumnRef("a", table="t")) == 0
+        assert scope.resolve(ast.ColumnRef("a", table="u")) == 2
+        assert scope.resolve(ast.ColumnRef("b")) == 1
+
+    def test_ambiguous_unqualified(self):
+        scope = Scope()
+        scope.add_namespace("t", ["a"])
+        scope.add_namespace("u", ["a"])
+        with pytest.raises(PlanError, match="ambiguous"):
+            scope.resolve(ast.ColumnRef("a"))
+
+    def test_unknown_column(self):
+        scope = Scope()
+        scope.add_namespace("t", ["a"])
+        with pytest.raises(PlanError):
+            scope.resolve(ast.ColumnRef("zz"))
+        with pytest.raises(PlanError):
+            scope.resolve(ast.ColumnRef("a", table="nope"))
+
+    def test_alias(self):
+        scope = Scope()
+        scope.add_namespace("trades", ["px"])
+        scope.add_alias("t", "trades")
+        assert scope.resolve(ast.ColumnRef("px", table="t")) == 0
+
+    def test_namespace_slots(self):
+        scope = Scope()
+        scope.add_namespace("t", ["a", "b"])
+        assert scope.namespace_slots("t") == [("a", 0), ("b", 1)]
+
+
+class TestArithmetic:
+    def test_basic(self):
+        fn = compile_from_sql("a + b * 2")
+        assert fn((3, 4, "")) == 11
+
+    def test_division_by_zero_is_null(self):
+        fn = compile_from_sql("a / b")
+        assert fn((1, 0, "")) is None
+        assert fn((6, 3, "")) == 2.0
+
+    def test_null_propagates(self):
+        fn = compile_from_sql("a + b")
+        assert fn((None, 4, "")) is None
+        assert fn((4, None, "")) is None
+
+    def test_modulo_and_negate(self):
+        assert compile_from_sql("a % b")((7, 3, "")) == 1
+        assert compile_from_sql("-a")((5, 0, "")) == -5
+        assert compile_from_sql("-a")((None, 0, "")) is None
+
+
+class TestComparisonsAndLogic:
+    def test_comparisons(self):
+        assert compile_from_sql("a < b")((1, 2, "")) is True
+        assert compile_from_sql("a >= b")((2, 2, "")) is True
+        assert compile_from_sql("a != b")((1, 2, "")) is True
+        assert compile_from_sql("a = b")((None, 2, "")) is None
+
+    def test_three_valued_and(self):
+        fn = compile_from_sql("(a > 0) AND (b > 0)")
+        assert fn((1, 1, "")) is True
+        assert fn((1, -1, "")) is False
+        assert fn((None, 1, "")) is None
+        assert fn((None, -1, "")) is False  # false dominates unknown
+
+    def test_three_valued_or(self):
+        fn = compile_from_sql("(a > 0) OR (b > 0)")
+        assert fn((1, None, "")) is True
+        assert fn((-1, -1, "")) is False
+        assert fn((None, -1, "")) is None
+
+    def test_not(self):
+        fn = compile_from_sql("NOT (a > 0)")
+        assert fn((1, 0, "")) is False
+        assert fn((None, 0, "")) is None
+
+    def test_is_null(self):
+        assert compile_from_sql("a IS NULL")((None, 0, "")) is True
+        assert compile_from_sql("a IS NOT NULL")((None, 0, "")) is False
+
+    def test_like(self):
+        fn = compile_from_sql("s LIKE 'he%o_'")
+        assert fn((0, 0, "hello!")) is True
+        assert fn((0, 0, "nope")) is False
+
+
+class TestStringsAndCase:
+    def test_concat_operator(self):
+        assert compile_from_sql("s || '!'")((0, 0, "hi")) == "hi!"
+
+    def test_case_when(self):
+        fn = compile_from_sql(
+            "CASE WHEN a > 10 THEN 'big' WHEN a > 0 THEN 'small' "
+            "ELSE 'neg' END")
+        assert fn((20, 0, "")) == "big"
+        assert fn((5, 0, "")) == "small"
+        assert fn((-1, 0, "")) == "neg"
+
+    def test_case_without_else(self):
+        fn = compile_from_sql("CASE WHEN a > 0 THEN 1 END")
+        assert fn((-5, 0, "")) is None
+
+    def test_scalar_call(self):
+        fn = compile_from_sql("upper(s)")
+        assert fn((0, 0, "abc")) == "ABC"
+
+    def test_nested_scalar_calls(self):
+        fn = compile_from_sql("length(upper(s)) + a")
+        assert fn((1, 0, "abc")) == 4
+
+
+class TestAggregateHandling:
+    def test_unbound_aggregate_rejected(self):
+        statement = parse_select("SELECT sum(a) AS s FROM t")
+        scope = Scope()
+        scope.add_namespace("t", ["a"])
+        with pytest.raises(CompileError):
+            compile_expr(statement.items[0].expr, scope)
+
+    def test_aggregate_slot_substitution(self):
+        statement = parse_select(
+            "SELECT sum(a) OVER w AS s FROM t WINDOW w AS "
+            "(PARTITION BY a ORDER BY a "
+            "ROWS BETWEEN 1 PRECEDING AND CURRENT ROW)")
+        call = statement.items[0].expr
+        scope = Scope()
+        scope.add_namespace("t", ["a"])
+        fn = compile_expr(call, scope, aggregate_slots={call: 1})
+        assert fn((99, 42)) == 42
+
+    def test_star_rejected_in_expression(self):
+        scope = Scope()
+        scope.add_namespace("t", ["a"])
+        with pytest.raises(CompileError):
+            compile_expr(ast.Star(), scope)

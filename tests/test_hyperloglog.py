@@ -1,0 +1,61 @@
+"""Tests for the HyperLogLog estimator."""
+
+import pytest
+
+from repro.offline.hyperloglog import HyperLogLog
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("true_count", [100, 1_000, 20_000])
+    def test_within_expected_error(self, true_count):
+        sketch = HyperLogLog(precision=12)
+        for value in range(true_count):
+            sketch.add(f"value-{value}")
+        estimate = sketch.cardinality()
+        # Standard error ≈ 1.04/sqrt(4096) ≈ 1.6%; allow 5σ.
+        assert abs(estimate - true_count) / true_count < 0.1
+
+    def test_duplicates_not_double_counted(self):
+        sketch = HyperLogLog(precision=12)
+        for _ in range(10):
+            sketch.update(f"v{i}" for i in range(500))
+        estimate = sketch.cardinality()
+        assert abs(estimate - 500) / 500 < 0.15
+
+    def test_empty_sketch(self):
+        assert HyperLogLog().cardinality() == 0.0
+
+    def test_small_range_linear_counting(self):
+        sketch = HyperLogLog(precision=10)
+        for value in range(10):
+            sketch.add(value)
+        assert abs(sketch.cardinality() - 10) < 3
+
+
+class TestMerge:
+    def test_merge_is_union(self):
+        left = HyperLogLog(precision=12)
+        right = HyperLogLog(precision=12)
+        left.update(range(0, 1000))
+        right.update(range(500, 1500))
+        merged = left.merge(right)
+        assert abs(merged.cardinality() - 1500) / 1500 < 0.1
+
+    def test_merge_precision_mismatch(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(precision=10).merge(HyperLogLog(precision=12))
+
+
+class TestValidation:
+    def test_precision_bounds(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(precision=3)
+        with pytest.raises(ValueError):
+            HyperLogLog(precision=17)
+
+    def test_deterministic(self):
+        a = HyperLogLog()
+        b = HyperLogLog()
+        a.update(range(100))
+        b.update(range(100))
+        assert a.cardinality() == b.cardinality()

@@ -1,0 +1,119 @@
+"""Cross-module integration tests: full pipelines through the facade."""
+
+import pytest
+
+from tests.conftest import rows_equal
+from repro import OpenMLDB, verify_consistency
+from repro.offline.skew import SkewConfig
+
+
+class TestDiskEngineServing:
+    """The disk storage engine must serve the same deployments."""
+
+    def _db(self, storage):
+        db = OpenMLDB()
+        from repro.schema import IndexDef, Schema
+        schema = Schema.from_pairs([
+            ("k", "string"), ("ts", "timestamp"), ("v", "double")])
+        db.create_table("t", schema, indexes=[IndexDef(("k",), "ts")],
+                        storage=storage, flush_threshold=16)
+        for key in ("a", "b"):
+            for index in range(60):
+                db.insert("t", (key, index * 100, float(index % 5)))
+        db.deploy("d", (
+            "SELECT k, sum(v) OVER w AS s, count(v) OVER w AS c FROM t "
+            "WINDOW w AS (PARTITION BY k ORDER BY ts "
+            "ROWS_RANGE BETWEEN 1s PRECEDING AND CURRENT ROW)"))
+        return db
+
+    def test_disk_matches_memory_online(self):
+        memory = self._db("memory")
+        disk = self._db("disk")
+        request = ("a", 6_000, 2.0)
+        assert memory.request("d", request) == disk.request("d", request)
+
+    def test_disk_matches_memory_offline(self):
+        memory = self._db("memory")
+        disk = self._db("disk")
+        sql = ("SELECT k, sum(v) OVER w AS s FROM t WINDOW w AS "
+               "(PARTITION BY k ORDER BY ts "
+               "ROWS_RANGE BETWEEN 1s PRECEDING AND CURRENT ROW)")
+        memory_rows, _ = memory.offline_query(sql)
+        disk_rows, _ = disk.offline_query(sql)
+        assert rows_equal(memory_rows, disk_rows)
+
+    def test_disk_survives_compaction(self):
+        disk = self._db("disk")
+        table = disk.table("t")
+        table.flush()
+        table.compact(now_ts=10 ** 12)
+        request = ("a", 6_000, 2.0)
+        result = disk.request("d", request)
+        assert result["c"] >= 1
+
+
+class TestTTLServingInteraction:
+    def test_evicted_rows_leave_windows(self):
+        db = OpenMLDB()
+        db.execute("CREATE TABLE t (k string, ts timestamp, v double, "
+                   "INDEX(KEY=k, TS=ts, TTL=1m, TTL_TYPE=absolute))")
+        db.insert("t", ("a", 0, 100.0))
+        db.insert("t", ("a", 120_000, 1.0))
+        db.deploy("d", (
+            "SELECT sum(v) OVER w AS s FROM t WINDOW w AS "
+            "(PARTITION BY k ORDER BY ts "
+            "ROWS_RANGE BETWEEN 300s PRECEDING AND CURRENT ROW)"))
+        before = db.request("d", ("a", 120_001, 0.0))
+        assert before["s"] == 101.0
+        db.evict_expired(now_ts=120_001)
+        after = db.request("d", ("a", 120_001, 0.0))
+        assert after["s"] == 1.0  # the 100.0 tuple aged out
+
+
+class TestSkewThroughFacade:
+    def test_offline_query_with_skew_config(self):
+        db = OpenMLDB()
+        db.execute("CREATE TABLE t (k string, ts timestamp, v double, "
+                   "INDEX(KEY=k, TS=ts))")
+        for index in range(400):
+            db.insert("t", ("hot", index * 10, 1.0))
+        sql = ("SELECT k, count(v) OVER w AS c FROM t WINDOW w AS "
+               "(PARTITION BY k ORDER BY ts "
+               "ROWS_RANGE BETWEEN 100 PRECEDING AND CURRENT ROW)")
+        plain_rows, _ = db.offline_query(sql)
+        skew_rows, stats = db.offline_query(
+            sql, skew=SkewConfig(quantile=4, min_partition_rows=50))
+        assert plain_rows == skew_rows
+        assert stats.tasks == 4
+
+
+class TestMultipleDeploymentsShareState:
+    def test_two_deployments_one_table(self):
+        db = OpenMLDB()
+        db.execute("CREATE TABLE t (k string, ts timestamp, v double, "
+                   "INDEX(KEY=k, TS=ts))")
+        db.insert("t", ("a", 100, 5.0))
+        db.deploy("sums", (
+            "SELECT sum(v) OVER w AS s FROM t WINDOW w AS "
+            "(PARTITION BY k ORDER BY ts "
+            "ROWS BETWEEN 9 PRECEDING AND CURRENT ROW)"))
+        db.deploy("counts", (
+            "SELECT count(v) OVER w AS c FROM t WINDOW w AS "
+            "(PARTITION BY k ORDER BY ts "
+            "ROWS BETWEEN 9 PRECEDING AND CURRENT ROW)"))
+        request = ("a", 200, 3.0)
+        assert db.request("sums", request) == {"s": 8.0}
+        assert db.request("counts", request) == {"c": 2}
+
+    def test_consistency_after_more_inserts(self):
+        db = OpenMLDB()
+        db.execute("CREATE TABLE t (k string, ts timestamp, v double, "
+                   "INDEX(KEY=k, TS=ts))")
+        db.deploy("d", (
+            "SELECT k, sum(v) OVER w AS s FROM t WINDOW w AS "
+            "(PARTITION BY k ORDER BY ts "
+            "ROWS BETWEEN 4 PRECEDING AND CURRENT ROW)"))
+        for index in range(50):
+            db.insert("t", (f"k{index % 3}", 1_000 + index * 10,
+                            float(index)))
+        assert verify_consistency(db, "d").consistent

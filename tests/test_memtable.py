@@ -1,0 +1,160 @@
+"""Tests for the in-memory table (storage/memtable)."""
+
+import pytest
+
+from repro.errors import IndexNotFoundError, SchemaError
+from repro.schema import IndexDef, Schema, TTLKind, TTLSpec
+from repro.storage.memtable import MemTable, normalize_ts
+
+
+@pytest.fixture
+def table(events_schema, events_index):
+    return MemTable("events", events_schema, [events_index])
+
+
+class TestConstruction:
+    def test_requires_an_index(self, events_schema):
+        with pytest.raises(SchemaError):
+            MemTable("t", events_schema, [])
+
+    def test_index_columns_validated(self, events_schema):
+        with pytest.raises(SchemaError):
+            MemTable("t", events_schema,
+                     [IndexDef(("missing",), "ts")])
+
+    def test_ts_column_must_be_time_typed(self, events_schema):
+        with pytest.raises(SchemaError):
+            MemTable("t", events_schema,
+                     [IndexDef(("key",), "label")])
+
+    def test_bigint_ts_accepted(self):
+        schema = Schema.from_pairs([("k", "string"), ("seq", "bigint")])
+        MemTable("t", schema, [IndexDef(("k",), "seq")])
+
+
+class TestInsertAndScan:
+    def test_insert_returns_offsets(self, table):
+        assert table.insert(("a", 1, 1.0, "x")) == 0
+        assert table.insert(("a", 2, 2.0, "y")) == 1
+        assert table.row_count == 2
+
+    def test_rows_in_insertion_order(self, table):
+        table.insert(("a", 2, 1.0, "x"))
+        table.insert(("a", 1, 2.0, "y"))
+        assert [row[1] for row in table.rows()] == [2, 1]
+
+    def test_window_scan_newest_first(self, table):
+        for ts in (10, 30, 20):
+            table.insert(("a", ts, float(ts), "x"))
+        result = [ts for ts, _row in
+                  table.window_scan(("key",), "ts", "a")]
+        assert result == [30, 20, 10]
+
+    def test_window_scan_bounds(self, table):
+        for ts in range(0, 100, 10):
+            table.insert(("a", ts, float(ts), "x"))
+        result = [ts for ts, _row in table.window_scan(
+            ("key",), "ts", "a", start_ts=50, end_ts=30)]
+        assert result == [50, 40, 30]
+
+    def test_window_scan_limit(self, table):
+        for ts in range(10):
+            table.insert(("a", ts, 0.0, "x"))
+        result = list(table.window_scan(("key",), "ts", "a", limit=3))
+        assert len(result) == 3
+
+    def test_unknown_index_raises(self, table):
+        with pytest.raises(IndexNotFoundError):
+            table.window_scan(("label",), "ts", "x")
+
+    def test_validation_on_insert(self, table):
+        with pytest.raises(Exception):
+            table.insert(("a", "not-a-ts", 1.0, "x"))
+
+
+class TestLastJoinLookup:
+    def test_latest_row(self, table):
+        table.insert(("a", 10, 1.0, "x"))
+        table.insert(("a", 20, 2.0, "y"))
+        table.insert(("b", 99, 3.0, "z"))
+        hit = table.last_join_lookup(("key",), "a")
+        assert hit == (20, ("a", 20, 2.0, "y"))
+
+    def test_before_ts(self, table):
+        table.insert(("a", 10, 1.0, "x"))
+        table.insert(("a", 20, 2.0, "y"))
+        hit = table.last_join_lookup(("key",), "a", before_ts=15)
+        assert hit[0] == 10
+
+    def test_miss_returns_none(self, table):
+        assert table.last_join_lookup(("key",), "nope") is None
+
+
+class TestMultipleIndexes:
+    def test_each_index_serves_its_keys(self, events_schema):
+        table = MemTable("t", events_schema, [
+            IndexDef(("key",), "ts"),
+            IndexDef(("label",), "ts"),
+        ])
+        table.insert(("a", 1, 1.0, "red"))
+        table.insert(("b", 2, 2.0, "red"))
+        by_key = list(table.window_scan(("key",), "ts", "a"))
+        by_label = list(table.window_scan(("label",), "ts", "red"))
+        assert len(by_key) == 1
+        assert len(by_label) == 2
+
+    def test_composite_key(self, events_schema):
+        table = MemTable("t", events_schema,
+                         [IndexDef(("key", "label"), "ts")])
+        table.insert(("a", 1, 1.0, "red"))
+        table.insert(("a", 2, 2.0, "blue"))
+        rows = list(table.window_scan(("key", "label"), "ts",
+                                      ("a", "red")))
+        assert len(rows) == 1
+
+
+class TestSubscribersAndMemory:
+    def test_subscriber_receives_offsets(self, table):
+        seen = []
+        table.subscribe(lambda name, row, offset: seen.append(
+            (name, offset)))
+        table.insert(("a", 1, 1.0, "x"))
+        table.insert(("a", 2, 2.0, "y"))
+        assert seen == [("events", 0), ("events", 1)]
+
+    def test_memory_bytes_grow(self, table):
+        before = table.memory_bytes
+        table.insert(("a", 1, 1.0, "payload"))
+        assert table.memory_bytes > before
+
+    def test_key_cardinality(self, table):
+        for key in ("a", "b", "a", "c"):
+            table.insert((key, 1, 0.0, "x"))
+        assert table.key_cardinality() == 3
+
+
+class TestEviction:
+    def test_evict_expired_frees_index_not_log(self, events_schema):
+        ttl = TTLSpec(kind=TTLKind.ABSOLUTE, abs_ttl_ms=100)
+        table = MemTable("t", events_schema,
+                         [IndexDef(("key",), "ts", ttl=ttl)])
+        for ts in (0, 50, 950):
+            table.insert(("a", ts, 0.0, "x"))
+        removed = table.evict_expired(now_ts=1000)
+        assert removed == 2
+        assert len(list(table.window_scan(("key",), "ts", "a"))) == 1
+        assert table.row_count == 3  # the log backs offline scans
+
+
+class TestNormalizeTs:
+    def test_int_passthrough(self):
+        assert normalize_ts(12345) == 12345
+
+    def test_datetime(self):
+        import datetime
+        moment = datetime.datetime(2024, 1, 1, tzinfo=datetime.timezone.utc)
+        assert normalize_ts(moment) == int(moment.timestamp() * 1000)
+
+    def test_bad_type_raises(self):
+        with pytest.raises(Exception):
+            normalize_ts("noon")

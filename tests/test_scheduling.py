@@ -1,0 +1,39 @@
+"""Tests for the LPT makespan scheduler model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.offline.scheduling import lpt_makespan, worker_loads
+
+
+class TestWorkerLoads:
+    def test_even_split(self):
+        loads = worker_loads([1.0, 1.0, 1.0, 1.0], workers=2)
+        assert sorted(loads) == [2.0, 2.0]
+
+    def test_straggler_dominates(self):
+        loads = worker_loads([10.0, 1.0, 1.0, 1.0], workers=4)
+        assert max(loads) == 10.0
+
+    def test_one_worker_serialises(self):
+        assert lpt_makespan([1.0, 2.0, 3.0], workers=1) == 6.0
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            worker_loads([1.0], workers=0)
+
+    def test_empty_tasks(self):
+        assert lpt_makespan([], workers=4) == 0.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.floats(0.001, 10.0), min_size=1, max_size=50),
+       st.integers(1, 16))
+def test_makespan_bounds_property(tasks, workers):
+    """LPT makespan lies between max(task) ∨ total/workers and total."""
+    makespan = lpt_makespan(tasks, workers)
+    total = sum(tasks)
+    lower = max(max(tasks), total / workers)
+    assert lower - 1e-9 <= makespan <= total + 1e-9
+    # LPT is a 4/3-approximation of the optimum ≥ lower bound.
+    assert makespan <= lower * (4 / 3) + max(tasks) / 3 + 1e-9

@@ -1,0 +1,89 @@
+"""Tests for the segment tree over aggregate states."""
+
+import operator
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.online.segment_tree import SegmentTree
+
+
+def sum_tree(values=()):
+    tree = SegmentTree(operator.add, identity=None)
+    for value in values:
+        tree.append(value)
+    return tree
+
+
+class TestBasics:
+    def test_append_and_get(self):
+        tree = sum_tree([1, 2, 3])
+        assert len(tree) == 3
+        assert tree.get(0) == 1
+        assert tree.get(2) == 3
+
+    def test_query_full_range(self):
+        tree = sum_tree([1, 2, 3, 4, 5])
+        assert tree.query(0, 5) == 15
+
+    def test_query_subranges(self):
+        tree = sum_tree([1, 2, 3, 4, 5])
+        assert tree.query(1, 4) == 9
+        assert tree.query(0, 1) == 1
+        assert tree.query(4, 5) == 5
+
+    def test_empty_range_returns_identity(self):
+        tree = sum_tree([1, 2, 3])
+        assert tree.query(2, 2) is None
+        assert tree.query(3, 1) is None
+
+    def test_out_of_bounds_clamped(self):
+        tree = sum_tree([1, 2, 3])
+        assert tree.query(-5, 100) == 6
+
+    def test_update(self):
+        tree = sum_tree([1, 2, 3])
+        tree.update(1, 20)
+        assert tree.query(0, 3) == 24
+
+    def test_get_out_of_range(self):
+        tree = sum_tree([1])
+        with pytest.raises(IndexError):
+            tree.get(5)
+
+    def test_growth_preserves_leaves(self):
+        tree = sum_tree(range(1, 70))  # forces several capacity doublings
+        assert tree.query(0, 69) == sum(range(1, 70))
+        assert tree.get(63) == 64
+
+    def test_identity_leaves_skipped(self):
+        tree = sum_tree([1, None, 3])
+        assert tree.query(0, 3) == 4
+
+
+class TestOrderPreservation:
+    """Non-commutative merges must see leaves left-to-right."""
+
+    def test_string_concat_order(self):
+        tree = SegmentTree(operator.add, identity=None)
+        for piece in ("a", "b", "c", "d", "e"):
+            tree.append(piece)
+        assert tree.query(0, 5) == "abcde"
+        assert tree.query(1, 4) == "bcd"
+
+    def test_order_after_growth(self):
+        tree = SegmentTree(operator.add, identity=None)
+        pieces = [chr(ord("a") + i % 26) for i in range(40)]
+        for piece in pieces:
+            tree.append(piece)
+        assert tree.query(3, 37) == "".join(pieces[3:37])
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(-100, 100), min_size=1, max_size=100),
+       st.integers(0, 100), st.integers(0, 100))
+def test_query_matches_fold(values, lo, hi):
+    tree = sum_tree(values)
+    lo, hi = min(lo, len(values)), min(hi, len(values))
+    expected = sum(values[lo:hi]) if lo < hi else None
+    assert tree.query(lo, hi) == expected

@@ -1,0 +1,152 @@
+"""Tests for the workload generators (Section 9.1)."""
+
+import pytest
+
+from repro.workloads.glq import (GLQConfig, GridGLQEngine, SparkGLQEngine,
+                                 generate_points, radius_for_n)
+from repro.workloads.microbench import (MicroBenchConfig, build_feature_sql,
+                                        generate)
+from repro.workloads.rtp import RTPConfig, generate_events
+from repro.workloads.talkingdata import TalkingDataConfig, generate_clicks
+from repro.errors import ExecutionError
+
+
+class TestMicroBench:
+    def test_deterministic(self):
+        config = MicroBenchConfig(keys=5, rows_per_key=10, seed=1)
+        first = generate(config)
+        second = generate(config)
+        assert first.rows == second.rows
+        assert first.requests == second.requests
+
+    def test_row_counts(self):
+        config = MicroBenchConfig(keys=5, rows_per_key=12, union_tables=2)
+        data = generate(config)
+        stream_total = sum(
+            len(rows) for name, rows in data.rows.items()
+            if name.startswith("mb_main") or name.startswith("mb_stream"))
+        assert stream_total == 60
+
+    def test_join_tables_one_row_per_key(self):
+        config = MicroBenchConfig(keys=7, rows_per_key=4, joins=2)
+        data = generate(config)
+        assert len(data.rows["mb_dim0"]) == 7
+        assert len(data.rows["mb_dim1"]) == 7
+
+    def test_sql_scales_with_config(self):
+        small = build_feature_sql(MicroBenchConfig(windows=1, joins=0,
+                                                   value_columns=1))
+        large = build_feature_sql(MicroBenchConfig(windows=4, joins=2,
+                                                   value_columns=3))
+        assert small.count("OVER") == 1
+        assert large.count("OVER") == 12
+        assert large.count("LAST JOIN") == 2
+
+    def test_sql_parses_and_plans(self):
+        from repro.sql.parser import parse_select
+        from repro.sql.planner import build_plan
+        config = MicroBenchConfig(keys=3, rows_per_key=5, windows=3,
+                                  joins=2)
+        data = generate(config)
+        plan = build_plan(parse_select(build_feature_sql(config)),
+                          data.schemas)
+        assert len(plan.windows) == 3
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            MicroBenchConfig(union_tables=5)
+        with pytest.raises(ValueError):
+            MicroBenchConfig(windows=0)
+
+
+class TestTalkingData:
+    def test_schema_shape(self):
+        rows = list(generate_clicks(TalkingDataConfig(rows=100)))
+        assert len(rows) == 100
+        ip, app, device, os_v, channel, ts, attributed = rows[0]
+        assert isinstance(ip, str)
+        assert isinstance(ts, int)
+        assert isinstance(attributed, bool)
+
+    def test_time_ordered(self):
+        rows = list(generate_clicks(TalkingDataConfig(rows=500)))
+        stamps = [row[5] for row in rows]
+        assert stamps == sorted(stamps)
+
+    def test_zipf_skew(self):
+        from collections import Counter
+        rows = list(generate_clicks(TalkingDataConfig(
+            rows=20_000, distinct_ips=1000)))
+        counts = Counter(row[0] for row in rows)
+        top_share = sum(count for _ip, count
+                        in counts.most_common(10)) / len(rows)
+        assert top_share > 0.15  # hot ips dominate
+
+    def test_deterministic(self):
+        config = TalkingDataConfig(rows=50)
+        assert list(generate_clicks(config)) \
+            == list(generate_clicks(config))
+
+
+class TestRTP:
+    def test_event_shape(self):
+        events = list(generate_events(RTPConfig(events=100)))
+        assert len(events) == 100
+        user, ts, item, score = events[0]
+        assert user.startswith("u")
+        assert 0.0 <= score <= 1.0
+
+    def test_time_monotone(self):
+        events = list(generate_events(RTPConfig(events=500)))
+        stamps = [event[1] for event in events]
+        assert stamps == sorted(stamps)
+
+
+class TestGLQ:
+    def test_points_deterministic(self):
+        config = GLQConfig(points=200)
+        assert list(generate_points(config)) \
+            == list(generate_points(config))
+
+    def test_radius_doubles_per_n(self):
+        assert radius_for_n(8) == 2 * radius_for_n(7)
+        assert radius_for_n(10) == 8 * radius_for_n(7)
+
+    def test_grid_and_spark_agree(self):
+        points = list(generate_points(GLQConfig(points=3000)))
+        grid = GridGLQEngine(cell=0.05)
+        spark = SparkGLQEngine()
+        for point in points:
+            grid.insert(point)
+            spark.insert(point)
+        centre = points[0]
+        for n in (7, 8, 9):
+            radius = radius_for_n(n)
+            left = grid.query(centre, radius)
+            right = spark.query(centre, radius)
+            assert left.count == right.count
+            assert left.mean_distance == pytest.approx(
+                right.mean_distance)
+            assert left.nearest == right.nearest
+
+    def test_spark_oom_on_full_table(self):
+        points = list(generate_points(GLQConfig(points=2000)))
+        spark = SparkGLQEngine(memory_limit_rows=500)
+        for point in points:
+            spark.insert(point)
+        with pytest.raises(ExecutionError, match="OOM"):
+            spark.query(points[0], radius=1e9)  # full-table query
+
+    def test_grid_handles_full_table(self):
+        points = list(generate_points(GLQConfig(points=2000)))
+        grid = GridGLQEngine(cell=1.0)
+        for point in points:
+            grid.insert(point)
+        result = grid.query(points[0], radius=400.0)
+        assert result.count == 2000
+
+    def test_empty_result(self):
+        grid = GridGLQEngine()
+        result = grid.query((0.0, 0.0), 1.0)
+        assert result.count == 0
+        assert result.nearest is None
