@@ -1,0 +1,18 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test verify-docs bench examples
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Extract and execute every fenced python block in README.md and
+# docs/*.md — documentation code must actually run.
+verify-docs:
+	$(PYTHON) -m pytest -q -m docs tests/test_docs_snippets.py
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+examples:
+	for script in examples/*.py; do $(PYTHON) $$script || exit 1; done

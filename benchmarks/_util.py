@@ -10,9 +10,9 @@ from repro.workloads.microbench import (MicroBenchConfig, build_feature_sql,
 __all__ = ["build_openmldb", "openmldb_for_config"]
 
 
-def build_openmldb(data, sql, deployment="bench"):
+def build_openmldb(data, sql, deployment="bench", observability=False):
     """Stand up an OpenMLDB instance loaded with a MicroBench dataset."""
-    db = OpenMLDB()
+    db = OpenMLDB(observability=observability)
     for name, schema in data.schemas.items():
         db.create_table(name, schema, indexes=data.indexes[name])
     for name, rows in data.rows.items():

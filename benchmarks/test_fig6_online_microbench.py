@@ -11,8 +11,10 @@ from __future__ import annotations
 
 import pytest
 
+from _util import build_openmldb
 from repro.baselines import DuckDBEngine, MySQLMemoryEngine, TrinoRedisEngine
-from repro.bench import measure_latencies, measure_throughput, print_table
+from repro.bench import (measure_latencies, measure_throughput,
+                         print_stage_breakdown, print_table)
 
 
 def _load_baseline(engine_cls, data, sql):
@@ -58,5 +60,15 @@ def test_fig6_online_microbench(benchmark, microbench_online):
     benchmark.extra_info["speedups"] = {
         name: latencies[name].mean / open_mean
         for name in systems if name != "openmldb"}
+
+    # Where the latency goes: re-run a slice with observability enabled
+    # (the measured numbers above stay on the default, uninstrumented
+    # path) and print the per-stage span breakdown.
+    traced = build_openmldb(data, sql, observability=True)
+    for row in requests[:40]:
+        traced.request_row("bench", row)
+    print_stage_breakdown("Figure 6: request-stage breakdown (traced run)",
+                          traced.obs.tracer)
+
     benchmark.pedantic(systems["openmldb"], args=(requests[0],),
                        rounds=50, iterations=2)

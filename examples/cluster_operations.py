@@ -7,7 +7,9 @@ Exercises the deployment-facing substrate around the engines:
 * leader failover without data loss,
 * per-tablet memory isolation — writes fail, reads continue
   (Section 8.2),
-* the memory estimation model guiding capacity planning (Section 8.1).
+* the memory estimation model guiding capacity planning (Section 8.1),
+* cluster-mode online serving with a stitched cross-tablet trace and
+  the nameserver/tablet RPC metrics (docs/observability.md).
 
 Run:  python examples/cluster_operations.py
 """
@@ -18,6 +20,7 @@ from repro.cluster import NameServer, TabletServer
 from repro.errors import MemoryLimitExceededError
 from repro.memory.estimator import (IndexProfile, TableProfile,
                                     estimate_table_bytes)
+from repro.obs import Observability
 from repro.schema import IndexDef, Schema, TTLKind
 
 
@@ -31,10 +34,12 @@ def main() -> None:
           f"{estimate_table_bytes(profile) / 1e9:.3f} GB "
           f"(paper's worked example: ~1.568 GB)")
 
-    # A three-tablet cluster hosting a replicated stream table.
+    # A three-tablet cluster hosting a replicated stream table, with
+    # one shared observability handle across every node.
+    obs = Observability(enabled=True)
     tablets = [TabletServer(f"tablet-{i}", max_memory_mb=64)
                for i in range(3)]
-    cluster = NameServer(tablets)
+    cluster = NameServer(tablets, obs=obs)
     schema = Schema.from_pairs([
         ("user", "string"), ("ts", "timestamp"), ("v", "double")])
     cluster.create_table("events", schema,
@@ -56,6 +61,23 @@ def main() -> None:
     print(f"read after failover: latest(user-5) = {newest}")
     cluster.put("events", ("user-5", 10_000, 1.0))
     print("write after failover: OK")
+
+    # Cluster-mode serving: deploy a feature script on the nameserver
+    # and run one request.  Every storage read is routed to the tablet
+    # hosting the partition, carrying the trace context — the rendered
+    # trace below stitches nameserver and tablet spans together.
+    cluster.deploy(
+        "user_features",
+        "SELECT user, sum(v) OVER w AS total, count(v) OVER w AS n "
+        "FROM events "
+        "WINDOW w AS (PARTITION BY user ORDER BY ts "
+        "  ROWS_RANGE BETWEEN 500 PRECEDING AND CURRENT ROW)")
+    features = cluster.request("user_features", ("user-5", 10_100, 2.0))
+    print(f"\ncluster-served features: {features}")
+    print("\nstitched request trace:")
+    print(obs.tracer.render())
+    print("\ncluster metrics:")
+    print(obs.registry.render())
 
     # Memory isolation: a tiny tablet rejects writes but keeps serving.
     small = TabletServer("small-tablet", max_memory_mb=1)

@@ -7,7 +7,8 @@ Walks the full OpenMLDB workflow of the paper's Figure 3 in one file:
 3. offline development of a feature script (batch mode),
 4. deployment,
 5. online request-mode serving,
-6. the online/offline consistency check.
+6. the online/offline consistency check,
+7. the observability read-out: per-request trace + metric series.
 
 Run:  python examples/quickstart.py
 """
@@ -18,7 +19,7 @@ from repro import OpenMLDB, verify_consistency
 
 
 def main() -> None:
-    db = OpenMLDB()
+    db = OpenMLDB(observability=True)
 
     # 1. A stream table: transactions keyed by card, ordered by time.
     db.execute(
@@ -63,12 +64,20 @@ def main() -> None:
     incoming = ("c100", 150_000, 18.0, "cafe")
     features = db.request("card_features", incoming)
     print("\nonline features for incoming txn:", features)
+    request_trace = db.obs.tracer.trace_ids()[-1]
 
     # 6. The paper's headline guarantee: online and offline agree.
     report = verify_consistency(db, "card_features")
     print(f"\nconsistency: {report.rows_compared} rows compared, "
           f"{len(report.mismatches)} mismatches")
     report.raise_on_mismatch()
+
+    # 7. Observability: the online request's trace, and the metric
+    #    series the whole run accumulated (docs/observability.md).
+    print("\ntrace of the online request:")
+    print(db.obs.tracer.render(request_trace))
+    print("\nmetrics:")
+    print(db.obs.registry.render())
     db.close()
 
 

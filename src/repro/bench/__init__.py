@@ -1,9 +1,11 @@
 """Benchmark harness utilities (percentiles, throughput, printing)."""
 
 from .harness import (LatencyStats, measure_latencies, measure_throughput,
-                      print_series, print_table, speedup)
+                      print_series, print_stage_breakdown, print_table,
+                      speedup, stage_breakdown)
 
 __all__ = [
     "LatencyStats", "measure_latencies", "measure_throughput",
     "print_table", "print_series", "speedup",
+    "stage_breakdown", "print_stage_breakdown",
 ]

@@ -14,7 +14,8 @@ import time
 from typing import Any, Callable, Dict, Iterable, List, Sequence
 
 __all__ = ["LatencyStats", "measure_latencies", "measure_throughput",
-           "print_table", "print_series", "speedup"]
+           "print_table", "print_series", "speedup",
+           "stage_breakdown", "print_stage_breakdown"]
 
 _PERCENTILES = (50, 90, 95, 99, 99.9)
 
@@ -93,6 +94,38 @@ def speedup(baseline_seconds: float, optimized_seconds: float) -> float:
     if optimized_seconds <= 0:
         return float("inf")
     return baseline_seconds / optimized_seconds
+
+
+def stage_breakdown(tracer: Any) -> List[Dict[str, Any]]:
+    """Aggregate a tracer's finished spans by span name.
+
+    Returns one dict per stage (``name``, ``count``, ``total_ms``,
+    ``mean_ms``, ``max_ms``), sorted by total time descending — the
+    "where did the request latency go" view used when reading the
+    paper's figures (see EXPERIMENTS.md).
+    """
+    totals: Dict[str, Dict[str, Any]] = {}
+    for span in tracer.export():
+        entry = totals.setdefault(
+            span["name"],
+            {"name": span["name"], "count": 0, "total_ms": 0.0,
+             "max_ms": 0.0})
+        entry["count"] += 1
+        entry["total_ms"] += span["duration_ms"]
+        entry["max_ms"] = max(entry["max_ms"], span["duration_ms"])
+    stages = sorted(totals.values(),
+                    key=lambda entry: entry["total_ms"], reverse=True)
+    for entry in stages:
+        entry["mean_ms"] = entry["total_ms"] / entry["count"]
+    return stages
+
+
+def print_stage_breakdown(title: str, tracer: Any) -> None:
+    """Print :func:`stage_breakdown` as an aligned table."""
+    stages = stage_breakdown(tracer)
+    print_table(title, ["stage", "count", "total ms", "mean ms", "max ms"],
+                [[entry["name"], entry["count"], entry["total_ms"],
+                  entry["mean_ms"], entry["max_ms"]] for entry in stages])
 
 
 def print_table(title: str, headers: Sequence[str],

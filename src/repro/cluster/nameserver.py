@@ -19,10 +19,16 @@ always as complete as the acknowledged writes.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+import time
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..errors import StorageError
+from ..errors import IndexNotFoundError, StorageError
+from ..obs import NULL_OBS, Observability
+from ..online.engine import OnlineEngine
 from ..schema import IndexDef, Row, Schema
+from ..sql import ast
+from ..sql.compiler import CompilationCache, CompiledQuery
+from ..sql.parser import parse
 from .tablet import TabletServer
 
 __all__ = ["ClusterTable", "NameServer"]
@@ -42,16 +48,122 @@ class ClusterTable:
     next_offset: Dict[int, int]
 
 
+class _ClusterTableView:
+    """Routed read adapter exposing the ``MemTable`` read API.
+
+    The online engine is storage-agnostic: it calls ``find_index`` /
+    ``window_scan`` / ``last_join_lookup`` on whatever "table" it is
+    given.  This view implements those against the cluster — each call
+    hashes the key to its partition, picks a live replica through the
+    nameserver, and issues the (simulated) RPC with the active trace
+    context attached, so tablet-side spans stitch into the request
+    trace.  Scans on a non-partition index fan out to every partition
+    and merge newest-first, as a real distributed executor must.
+    """
+
+    def __init__(self, nameserver: "NameServer",
+                 table: ClusterTable) -> None:
+        self._ns = nameserver
+        self._table = table
+
+    @property
+    def name(self) -> str:
+        return self._table.name
+
+    @property
+    def schema(self) -> Schema:
+        return self._table.schema
+
+    @property
+    def indexes(self) -> Tuple[IndexDef, ...]:
+        return self._table.indexes
+
+    def find_index(self, keys: Sequence[str],
+                   ts: Optional[str] = None) -> IndexDef:
+        for index in self._table.indexes:
+            if index.matches(keys, ts):
+                return index
+        raise IndexNotFoundError(
+            f"cluster table {self.name!r} has no index on "
+            f"keys={tuple(keys)} ts={ts!r}")
+
+    def _partitions_for(self, keys: Sequence[str],
+                        key_value: Any) -> List[int]:
+        partition_column = self._table.indexes[0].key_columns[0]
+        if tuple(keys)[0] == partition_column:
+            routing = key_value[0] if isinstance(key_value, tuple) \
+                else key_value
+            return [self._ns.partition_for(self.name, routing)]
+        return list(range(self._table.partitions))
+
+    def window_scan(self, keys: Sequence[str], ts_column: str,
+                    key_value: Any, start_ts: Optional[int] = None,
+                    end_ts: Optional[int] = None,
+                    limit: Optional[int] = None
+                    ) -> Iterator[Tuple[int, Row]]:
+        ns = self._ns
+        ctx = ns._obs.tracer.inject()
+        merged: List[Tuple[int, Row]] = []
+        for partition_id in self._partitions_for(keys, key_value):
+            ns._m_routes.inc()
+            replica = ns.live_replica(self.name, partition_id)
+            merged.extend(replica.window_scan(
+                self.name, partition_id, keys, ts_column, key_value,
+                start_ts=start_ts, end_ts=end_ts, limit=limit,
+                trace_ctx=ctx))
+        merged.sort(key=lambda pair: pair[0], reverse=True)
+        if limit is not None:
+            merged = merged[:limit]
+        return iter(merged)
+
+    def last_join_lookup(self, keys: Sequence[str], key_value: Any,
+                         before_ts: Optional[int] = None
+                         ) -> Optional[Tuple[int, Row]]:
+        ns = self._ns
+        ctx = ns._obs.tracer.inject()
+        best: Optional[Tuple[int, Row]] = None
+        for partition_id in self._partitions_for(keys, key_value):
+            ns._m_routes.inc()
+            replica = ns.live_replica(self.name, partition_id)
+            hit = replica.last_join_lookup(
+                self.name, partition_id, keys, key_value,
+                before_ts=before_ts, trace_ctx=ctx)
+            if hit is not None and (best is None or hit[0] > best[0]):
+                best = hit
+        return best
+
+    def rows(self) -> Iterator[Row]:
+        """Full scan across leader shards (offline-mode access path)."""
+        for partition_id in range(self._table.partitions):
+            leader = self._ns.leader_of(self.name, partition_id)
+            yield from leader.shard(self.name, partition_id).store.rows()
+
+
 class NameServer:
     """Coordinates a set of tablet servers."""
 
-    def __init__(self, tablets: Sequence[TabletServer]) -> None:
+    def __init__(self, tablets: Sequence[TabletServer],
+                 obs: Optional[Observability] = None) -> None:
         if not tablets:
             raise StorageError("cluster needs at least one tablet")
         self.tablets: Dict[str, TabletServer] = {
             tablet.name: tablet for tablet in tablets}
         self.tables: Dict[str, ClusterTable] = {}
         self.failovers = 0
+        self._obs = obs or NULL_OBS
+        for tablet in self.tablets.values():
+            tablet.bind_obs(self._obs)
+        registry = self._obs.registry
+        self._m_puts = registry.counter("ns.rpc.puts")
+        self._m_gets = registry.counter("ns.rpc.gets")
+        self._m_routes = registry.counter("ns.rpc.routes")
+        self._m_requests = registry.counter("ns.requests")
+        self._m_failovers = registry.counter("ns.failovers")
+        self._h_request = registry.histogram("cluster.request.ms")
+        self._views: Dict[str, _ClusterTableView] = {}
+        self._deployments: Dict[str, CompiledQuery] = {}
+        self._compile_cache = CompilationCache(obs=self._obs)
+        self._engine = OnlineEngine(self._views, obs=self._obs)
 
     # ------------------------------------------------------------------
     # DDL / placement
@@ -81,6 +193,7 @@ class NameServer:
                              replicas=replicas, assignment=assignment,
                              next_offset={p: 0 for p in range(partitions)})
         self.tables[name] = table
+        self._views[name] = _ClusterTableView(self, table)
         return table
 
     # ------------------------------------------------------------------
@@ -129,6 +242,7 @@ class NameServer:
         Returns the partition-local offset.
         """
         table = self._table(table_name)
+        self._m_puts.inc()
         column = key_column or table.indexes[0].key_columns[0]
         key_value = row[table.schema.position(column)]
         partition_id = self.partition_for(table_name, key_value)
@@ -148,6 +262,7 @@ class NameServer:
                    ) -> Optional[Tuple[int, Row]]:
         """Read the newest row for a key from any live replica."""
         table = self._table(table_name)
+        self._m_gets.inc()
         key_columns = tuple(keys) if keys else table.indexes[0].key_columns
         partition_id = self.partition_for(table_name, key_value)
         replica = self.live_replica(table_name, partition_id)
@@ -187,4 +302,45 @@ class NameServer:
                 best.promote(table.name, partition_id)
                 transfers += 1
         self.failovers += transfers
+        if transfers:
+            self._m_failovers.inc(transfers)
         return transfers
+
+    # ------------------------------------------------------------------
+    # online serving (request mode over the cluster)
+
+    def deploy(self, name: str, sql: str) -> CompiledQuery:
+        """Compile a feature script against the cluster catalog."""
+        if name in self._deployments:
+            raise StorageError(f"deployment {name!r} already exists")
+        statement = parse(sql)
+        if isinstance(statement, ast.DeployStatement):
+            statement = statement.select
+        if not isinstance(statement, ast.SelectStatement):
+            raise StorageError("cluster deploy() expects a SELECT")
+        catalog = {table.name: table.schema
+                   for table in self.tables.values()}
+        compiled = self._compile_cache.get_or_compile(statement, catalog)
+        self._deployments[name] = compiled
+        return compiled
+
+    def request(self, name: str, row: Sequence[Any]) -> Dict[str, Any]:
+        """Execute one request tuple through a cluster deployment.
+
+        The nameserver acts as the request frontend: it opens the
+        ``deployment.execute`` root span, and every storage read the
+        engine makes is routed (with the trace context) to whichever
+        tablet hosts the partition — producing one stitched trace
+        across tablet servers.
+        """
+        try:
+            compiled = self._deployments[name]
+        except KeyError:
+            raise StorageError(f"unknown deployment {name!r}") from None
+        self._m_requests.inc()
+        start = time.perf_counter()
+        with self._obs.tracer.span("deployment.execute", deployment=name,
+                                   frontend="nameserver"):
+            features = self._engine.execute_request(compiled, row)
+        self._h_request.observe((time.perf_counter() - start) * 1_000)
+        return dict(zip(compiled.output_names, features))

@@ -17,6 +17,7 @@ from typing import Any, Dict, Iterator, Optional, Sequence, Tuple
 
 from ..errors import StorageError
 from ..memory.governor import MemoryGovernor
+from ..obs import NULL_OBS, Observability
 from ..schema import IndexDef, Row, Schema
 from ..storage.memtable import MemTable
 
@@ -44,15 +45,27 @@ class TabletServer:
     Args:
         name: tablet id (e.g. ``"tablet-0"``).
         max_memory_mb: per-tablet write limit (Section 8.2).
+        obs: observability handle; RPC counters are labelled
+            ``tablet=<name>`` so per-node series merge cleanly.
     """
 
     def __init__(self, name: str,
-                 max_memory_mb: Optional[int] = None) -> None:
+                 max_memory_mb: Optional[int] = None,
+                 obs: Optional[Observability] = None) -> None:
         self.name = name
         self.governor = MemoryGovernor(name, max_memory_mb=max_memory_mb)
         self._shards: Dict[Tuple[str, int], Shard] = {}
         self._lock = threading.Lock()
         self.alive = True
+        self.bind_obs(obs or NULL_OBS)
+
+    def bind_obs(self, obs: Observability) -> None:
+        """(Re)attach observability — the nameserver calls this on join."""
+        self._obs = obs
+        metrics = obs.registry.labels(tablet=self.name)
+        self._m_writes = metrics.counter("tablet.rpc.writes")
+        self._m_reads = metrics.counter("tablet.rpc.reads")
+        self._m_scans = metrics.counter("tablet.rpc.scans")
 
     # ------------------------------------------------------------------
 
@@ -67,7 +80,7 @@ class TabletServer:
             shard = Shard(
                 table=table, partition_id=partition_id,
                 store=MemTable(f"{table}#{partition_id}@{self.name}",
-                               schema, indexes),
+                               schema, indexes, obs=self._obs),
                 is_leader=is_leader)
             self._shards[key] = shard
             return shard
@@ -104,14 +117,67 @@ class TabletServer:
             shard.store.schema.validate_row(row)))
         shard.store.insert(row)
         shard.applied_offset = offset
+        self._m_writes.inc()
 
     def read_latest(self, table: str, partition_id: int,
                     keys: Sequence[str], key_value: Any
                     ) -> Optional[Tuple[int, Row]]:
         if not self.alive:
             raise StorageError(f"{self.name} is down")
+        self._m_reads.inc()
         return self.shard(table, partition_id).store.last_join_lookup(
             keys, key_value)
+
+    # ------------------------------------------------------------------
+    # serving-path reads (trace-context aware — the simulated RPC surface)
+
+    def window_scan(self, table: str, partition_id: int,
+                    keys: Sequence[str], ts_column: str, key_value: Any,
+                    start_ts: Optional[int] = None,
+                    end_ts: Optional[int] = None,
+                    limit: Optional[int] = None,
+                    trace_ctx: Optional[Dict[str, int]] = None
+                    ) -> list:
+        """Scan one partition's window rows, resuming the caller's trace.
+
+        ``trace_ctx`` is what the nameserver's :meth:`Tracer.inject`
+        produced — the same trace-context propagation a real RPC carries,
+        which stitches the tablet-side spans into the request trace.
+        """
+        if not self.alive:
+            raise StorageError(f"{self.name} is down")
+        self._m_scans.inc()
+        store = self.shard(table, partition_id).store
+        tracer = self._obs.tracer
+        with tracer.start_from(trace_ctx, "index.seek", tablet=self.name,
+                               table=table, partition=partition_id) as seek:
+            index = store.find_index(keys, ts_column)
+            seek.set_tag(index=index.name)
+        with tracer.start_from(trace_ctx, "window.scan", tablet=self.name,
+                               table=table, partition=partition_id) as span:
+            rows = list(store.window_scan(
+                keys, ts_column, key_value, start_ts=start_ts,
+                end_ts=end_ts, limit=limit))
+            span.set_tag(rows=len(rows))
+        return rows
+
+    def last_join_lookup(self, table: str, partition_id: int,
+                         keys: Sequence[str], key_value: Any,
+                         before_ts: Optional[int] = None,
+                         trace_ctx: Optional[Dict[str, int]] = None
+                         ) -> Optional[Tuple[int, Row]]:
+        """LAST JOIN point lookup on one partition, trace-context aware."""
+        if not self.alive:
+            raise StorageError(f"{self.name} is down")
+        self._m_reads.inc()
+        store = self.shard(table, partition_id).store
+        with self._obs.tracer.start_from(
+                trace_ctx, "index.seek", tablet=self.name, table=table,
+                partition=partition_id) as span:
+            hit = store.last_join_lookup(keys, key_value,
+                                         before_ts=before_ts)
+            span.set_tag(hit=hit is not None)
+        return hit
 
     # ------------------------------------------------------------------
 

@@ -20,6 +20,7 @@ architecture diagram (Figure 2) does:
 from __future__ import annotations
 
 import threading
+import time
 from typing import (Any, Callable, Dict, List, Optional, Sequence,
                     Tuple, Union)
 
@@ -38,6 +39,7 @@ from ..online.engine import OnlineEngine
 from ..offline.engine import OfflineEngine, OfflineStats
 from ..offline.skew import SkewConfig
 from ..memory.governor import MemoryGovernor
+from ..obs import NULL_OBS, Observability
 from ..types import ColumnType
 from .deployment import Deployment
 from .modes import PreviewConstraints
@@ -55,23 +57,32 @@ class OpenMLDB:
         offline_workers: simulated cluster width for batch execution.
         max_memory_mb: optional write limit (Section 8.2 isolation).
         seed: storage-structure RNG seed, for reproducible layouts.
+        observability: collect metrics and per-request trace spans
+            (see :mod:`repro.obs`).  Off by default — the disabled
+            path adds nothing measurable to the request path.
     """
 
     def __init__(self, offline_workers: int = 8,
                  max_memory_mb: Optional[int] = None,
-                 seed: int = 0) -> None:
+                 seed: int = 0, observability: bool = False) -> None:
+        self.obs = Observability(enabled=True) if observability \
+            else NULL_OBS
         self.tables: Dict[str, Union[MemTable, DiskTable]] = {}
         self.replicator = Replicator()
-        self.compile_cache = CompilationCache()
+        self.compile_cache = CompilationCache(obs=self.obs)
         self.deployments: Dict[str, Deployment] = {}
-        self.online_engine = OnlineEngine(self.tables)
+        self.online_engine = OnlineEngine(self.tables, obs=self.obs)
         self.offline_engine = OfflineEngine(self.tables,
-                                            workers=offline_workers)
+                                            workers=offline_workers,
+                                            obs=self.obs)
         self.governor = MemoryGovernor("db", max_memory_mb=max_memory_mb)
         self._updaters: Dict[str, List[Callable]] = {}
         self._preview_cache: Dict[Tuple[str, int], List[Row]] = {}
         self._seed = seed
         self._lock = threading.Lock()
+        if observability:
+            self._h_request = self.obs.registry.histogram(
+                "online.request.ms")
 
     # ------------------------------------------------------------------
     # catalog / DDL
@@ -93,11 +104,12 @@ class OpenMLDB:
             indexes = [self._default_index(schema)]
         if storage == "memory":
             table: Union[MemTable, DiskTable] = MemTable(
-                name, schema, indexes, replicas=replicas, seed=self._seed)
+                name, schema, indexes, replicas=replicas, seed=self._seed,
+                obs=self.obs)
         elif storage == "disk":
             table = DiskTable(name, schema, indexes, replicas=replicas,
                               flush_threshold=flush_threshold,
-                              seed=self._seed)
+                              seed=self._seed, obs=self.obs)
         else:
             raise SchemaError(f"unknown storage engine {storage!r}")
         self.tables[name] = table
@@ -253,7 +265,8 @@ class OpenMLDB:
             name: list(table.indexes)
             for name, table in self.tables.items()})
         deployment = Deployment.from_statement(statement, sql, compiled)
-        deployment.initialize_preagg(self.tables, self._register_updater)
+        deployment.initialize_preagg(self.tables, self._register_updater,
+                                     obs=self.obs)
         self.deployments[statement.name] = deployment
         return deployment
 
@@ -273,9 +286,17 @@ class OpenMLDB:
                     row: Sequence[Any]) -> Row:
         """Like :meth:`request`, returning the raw feature tuple."""
         deployment = self._deployment(deployment_name)
-        return self.online_engine.execute_request(
-            deployment.compiled, row,
-            preagg=deployment.preaggs if deployment.uses_preagg else None)
+        preagg = deployment.preaggs if deployment.uses_preagg else None
+        if not self.obs.enabled:
+            return self.online_engine.execute_request(
+                deployment.compiled, row, preagg=preagg)
+        start = time.perf_counter()
+        with self.obs.tracer.span("deployment.execute",
+                                  deployment=deployment_name):
+            features = self.online_engine.execute_request(
+                deployment.compiled, row, preagg=preagg)
+        self._h_request.observe((time.perf_counter() - start) * 1_000)
+        return features
 
     def _deployment(self, name: str) -> Deployment:
         try:
@@ -372,12 +393,12 @@ class OpenMLDB:
         if isinstance(old, MemTable):
             fresh: Union[MemTable, DiskTable] = MemTable(
                 name, old.schema, old.indexes, replicas=old.replicas,
-                seed=self._seed)
+                seed=self._seed, obs=self.obs)
         else:
             fresh = DiskTable(name, old.schema, old.indexes,
                               replicas=old.replicas,
                               flush_threshold=old.flush_threshold,
-                              seed=self._seed)
+                              seed=self._seed, obs=self.obs)
         replayed = 0
         for entry in self.replicator.entries_from(0):
             if entry.table != name:

@@ -69,7 +69,7 @@ class Deployment:
     def initialize_preagg(
             self, tables: Mapping[str, Any],
             register_updater: Callable[[str, Callable], None],
-            levels: int = 2) -> None:
+            levels: int = 2, obs: Optional[Any] = None) -> None:
         """Create, backfill, and wire the deployment's pre-aggregators.
 
         Args:
@@ -77,6 +77,8 @@ class Deployment:
             register_updater: callback ``(table_name, update_closure)``
                 hooking aggregator maintenance into the binlog pipeline.
             levels: aggregator hierarchy depth (Section 5.1).
+            obs: optional observability handle; aggregators record
+                absorbed-row / query / bucket-merge counters when set.
         """
         started = time.perf_counter()
         for option in self.long_windows:
@@ -104,6 +106,8 @@ class Deployment:
                     window, compiled_agg, option, levels)
                 if aggregator is None:
                     continue  # non-mergeable: stays on the raw path
+                if obs is not None and obs.enabled:
+                    aggregator.bind_obs(obs)
                 table = tables[self.compiled.plan.table]
                 aggregator.backfill(list(table.rows()))
                 register_updater(self.compiled.plan.table,

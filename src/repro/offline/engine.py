@@ -32,6 +32,7 @@ from typing import (Any, Dict, List, Mapping, Optional, Sequence,
                     Tuple)
 
 from ..errors import ExecutionError
+from ..obs import NULL_OBS, Observability
 from ..schema import Row
 from ..sql.compiler import CompiledQuery, CompiledWindow
 from ..storage.memtable import normalize_ts
@@ -112,13 +113,23 @@ class OfflineEngine:
         tables: table name → storage object.
         workers: simulated cluster width for the makespan model (thread
             pool size matches it for the real concurrent execution).
+        obs: observability handle (default disabled).
     """
 
-    def __init__(self, tables: Mapping[str, Any], workers: int = 8) -> None:
+    def __init__(self, tables: Mapping[str, Any], workers: int = 8,
+                 obs: Optional[Observability] = None) -> None:
         if workers <= 0:
             raise ExecutionError("workers must be positive")
         self._tables = tables
         self.workers = workers
+        self._obs = obs or NULL_OBS
+        registry = self._obs.registry
+        self._m_runs = registry.counter("offline.runs")
+        self._m_anchors = registry.counter("offline.anchor_rows")
+        self._m_tasks = registry.counter("offline.tasks")
+        self._m_skew_tasks = registry.counter("offline.skew.tasks")
+        self._m_skew_expanded = registry.counter(
+            "offline.skew.expanded_rows")
 
     # ------------------------------------------------------------------
 
@@ -127,6 +138,15 @@ class OfflineEngine:
                 skew: Optional[SkewConfig] = None
                 ) -> Tuple[List[Row], OfflineStats]:
         """Run the batch computation; returns (feature rows, stats)."""
+        with self._obs.tracer.span("offline.execute",
+                                   table=compiled.plan.table,
+                                   workers=self.workers) as root:
+            return self._execute(compiled, parallel_windows, skew, root)
+
+    def _execute(self, compiled: CompiledQuery, parallel_windows: bool,
+                 skew: Optional[SkewConfig], root: Any
+                 ) -> Tuple[List[Row], OfflineStats]:
+        tracer = self._obs.tracer
         plan = compiled.plan
         stats = OfflineStats(workers=self.workers,
                              used_parallel_windows=parallel_windows,
@@ -134,10 +154,13 @@ class OfflineEngine:
         primary = self._tables[plan.table]
         anchors: List[Row] = list(primary.rows())
         stats.rows = len(anchors)
+        self._m_runs.inc()
+        self._m_anchors.inc(len(anchors))
 
         # LAST JOINs: resolve each anchor's combined row.
         started = time.perf_counter()
-        combined_rows = self._resolve_joins(compiled, anchors)
+        with tracer.span("offline.join", parent=root):
+            combined_rows = self._resolve_joins(compiled, anchors)
         stats.join_seconds = time.perf_counter() - started
 
         # Window aggregates, one result vector per anchor.  The hidden
@@ -155,10 +178,15 @@ class OfflineEngine:
             # thread_time, not perf_counter: when windows run concurrently
             # on the pool, wall-clock spans would absorb other threads'
             # GIL slices and double-count work in the makespan model.
+            # The span parent is passed explicitly — pool threads have no
+            # thread-local span stack of their own.
             name, window = job
-            window_started = time.thread_time()
-            task_times = self._compute_window(
-                compiled, window, anchors, aggregate_columns, skew)
+            with tracer.span("offline.window", window=name,
+                             parent=root) as span:
+                window_started = time.thread_time()
+                task_times = self._compute_window(
+                    compiled, window, anchors, aggregate_columns, skew)
+                span.set_tag(tasks=len(task_times))
             return (name, time.thread_time() - window_started, task_times)
 
         if parallel_windows and len(window_jobs) > 1:
@@ -166,23 +194,33 @@ class OfflineEngine:
                 outcomes = list(pool.map(run_window, window_jobs))
         else:
             outcomes = [run_window(job) for job in window_jobs]
+        registry = self._obs.registry
         for name, seconds, task_times in outcomes:
             stats.window_seconds[name] = seconds
             stats.window_tasks[name] = task_times
             stats.tasks += len(task_times)
+            self._m_tasks.inc(len(task_times))
+            if self._obs.enabled:
+                # Per-partition task timings: the skew figures (12–13)
+                # read straight off this distribution's p99/max.
+                task_histogram = registry.histogram("offline.task.ms",
+                                                    window=name)
+                for task_seconds in task_times:
+                    task_histogram.observe(task_seconds * 1_000)
 
         # ConcatJoin + final projection.
         started = time.perf_counter()
         output: List[Row] = []
         limit = plan.statement.limit
-        for index, combined in enumerate(combined_rows):
-            if compiled.where_fn is not None \
-                    and compiled.where_fn(combined) is not True:
-                continue
-            extended = combined + tuple(aggregate_columns[index])
-            output.append(compiled.project(extended))
-            if limit is not None and len(output) >= limit:
-                break
+        with tracer.span("offline.project", parent=root):
+            for index, combined in enumerate(combined_rows):
+                if compiled.where_fn is not None \
+                        and compiled.where_fn(combined) is not True:
+                    continue
+                extended = combined + tuple(aggregate_columns[index])
+                output.append(compiled.project(extended))
+                if limit is not None and len(output) >= limit:
+                    break
         stats.project_seconds = time.perf_counter() - started
         return output, stats
 
@@ -267,6 +305,11 @@ class OfflineEngine:
                 ts_fn=lambda event: event[0],
                 range_ms=plan.range_preceding_ms,
                 rows_preceding=plan.rows_preceding)
+            self._m_skew_tasks.inc(len(tasks))
+            expanded = sum(1 for task in tasks
+                           for tagged in task.rows if tagged.expanded)
+            if expanded:
+                self._m_skew_expanded.inc(expanded)
             task_groups = [
                 ([tagged.row for tagged in task.rows],
                  [not tagged.expanded for tagged in task.rows])

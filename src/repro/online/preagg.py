@@ -28,6 +28,7 @@ import threading
 from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple)
 
 from ..errors import DeploymentError
+from ..obs import NULL_COUNTER, Observability
 from ..schema import Row
 from ..sql.functions import AggregateFunction, get_aggregate
 from .binlog import BinlogEntry
@@ -187,6 +188,16 @@ class PreAggregator:
         self.queries = 0
         self._level_hits: Dict[int, int] = {
             level: 0 for level in range(len(self.level_sizes))}
+        self._m_absorbed = NULL_COUNTER
+        self._m_queries = NULL_COUNTER
+        self._m_bucket_merges = NULL_COUNTER
+
+    def bind_obs(self, obs: Observability) -> None:
+        """Attach metric series (called when a deployment owns obs)."""
+        metrics = obs.registry.labels(func=self.func_name)
+        self._m_absorbed = metrics.counter("preagg.rows_absorbed")
+        self._m_queries = metrics.counter("preagg.queries")
+        self._m_bucket_merges = metrics.counter("preagg.bucket_merges")
 
     @property
     def function(self) -> AggregateFunction:
@@ -221,6 +232,7 @@ class PreAggregator:
                     self._buckets[(key, level)] = buckets
                 buckets.add(ts, apply_fn)
             self.rows_absorbed += 1
+        self._m_absorbed.inc()
 
     def make_update_closure(self) -> Callable[[BinlogEntry], None]:
         """The ``update_aggr`` closure appended to the binlog."""
@@ -249,10 +261,13 @@ class PreAggregator:
         middle, finer buckets toward the edges, raw spans at the extremes.
         """
         self.queries += 1
+        self._m_queries.inc()
         buckets_used: Dict[int, int] = {}
         with self._lock:
             states, head, tail = self._query_level(
                 key, len(self.level_sizes) - 1, lo, hi, buckets_used)
+        if buckets_used:
+            self._m_bucket_merges.inc(sum(buckets_used.values()))
         state: Any = None
         for piece in states:
             if piece is None:

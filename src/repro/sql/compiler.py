@@ -26,11 +26,13 @@ from __future__ import annotations
 
 import dataclasses
 import threading
+import time
 from collections import Counter
 from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
                     Tuple)
 
 from ..errors import CompileError, PlanError
+from ..obs import NULL_OBS, Observability
 from ..schema import Row, Schema
 from . import ast
 from .expressions import RowFn, Scope, compile_expr
@@ -357,7 +359,8 @@ class CompilationCache:
     instead of a full parse/plan/compile pass.
     """
 
-    def __init__(self, capacity: int = 256) -> None:
+    def __init__(self, capacity: int = 256,
+                 obs: Optional[Observability] = None) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
@@ -365,6 +368,10 @@ class CompilationCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self._obs = obs or NULL_OBS
+        self._m_hits = self._obs.registry.counter("sql.compile.cache_hits")
+        self._m_misses = self._obs.registry.counter(
+            "sql.compile.cache_misses")
 
     @staticmethod
     def _key(statement: ast.SelectStatement,
@@ -386,10 +393,18 @@ class CompilationCache:
             cached = self._entries.get(key)
             if cached is not None:
                 self.hits += 1
+                self._m_hits.inc()
                 return cached
-        compiled = compile_plan(build_plan(statement, catalog), catalog)
+        if self._obs.enabled:
+            started = time.perf_counter()
+            compiled = compile_plan(build_plan(statement, catalog), catalog)
+            self._obs.registry.histogram("sql.compile.ms").observe(
+                (time.perf_counter() - started) * 1_000)
+        else:
+            compiled = compile_plan(build_plan(statement, catalog), catalog)
         with self._lock:
             self.misses += 1
+            self._m_misses.inc()
             if len(self._entries) >= self.capacity:
                 # FIFO eviction keeps the implementation simple and the
                 # common redeploy-immediately pattern hot.

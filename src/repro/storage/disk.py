@@ -28,6 +28,7 @@ import threading
 from typing import (Any, Dict, Iterator, List, Optional, Sequence, Tuple)
 
 from ..errors import IndexNotFoundError, SchemaError
+from ..obs import NULL_OBS, Observability
 from ..schema import IndexDef, Row, Schema, TTLKind, TTLSpec
 from .memtable import MemTable
 
@@ -189,7 +190,8 @@ class DiskTable:
                  indexes: Sequence[IndexDef],
                  flush_threshold: int = 4096,
                  replicas: int = 1,
-                 seed: Optional[int] = 0) -> None:
+                 seed: Optional[int] = 0,
+                 obs: Optional[Observability] = None) -> None:
         if flush_threshold <= 0:
             raise SchemaError("flush_threshold must be positive")
         self.name = name
@@ -197,10 +199,19 @@ class DiskTable:
         self.indexes = tuple(indexes)
         self.replicas = replicas
         self.flush_threshold = flush_threshold
+        self._obs = obs or NULL_OBS
+        metrics = self._obs.registry.labels(table=name)
+        self._m_disk_reads = metrics.counter("storage.disk.sst_reads")
+        self._m_bloom_skips = metrics.counter("storage.disk.bloom_skips")
+        self._m_flushes = metrics.counter("storage.disk.flushes")
+        self._m_compactions = metrics.counter("storage.disk.compactions")
+        self._m_compaction_evicted = metrics.counter(
+            "storage.disk.compaction_evicted")
         # The shared memtable: one skiplist-backed MemTable serving every
         # column family until flush, exactly as Section 7.3 describes.
         self._memtable = MemTable(name, schema, indexes,
-                                  replicas=replicas, seed=seed)
+                                  replicas=replicas, seed=seed,
+                                  obs=self._obs)
         self._families: Dict[str, ColumnFamily] = {
             index.name: ColumnFamily(index) for index in self.indexes
         }
@@ -249,15 +260,20 @@ class DiskTable:
             if entries:
                 self._families[index.name].add_sstable(SSTable(entries))
         self._memtable = MemTable(self.name, self.schema, self.indexes,
-                                  replicas=self.replicas)
+                                  replicas=self.replicas, obs=self._obs)
         self._since_flush = 0
         self.flushes += 1
+        self._m_flushes.inc()
 
     def compact(self, now_ts: int) -> int:
         """Compact every column family; returns total evicted entries."""
         with self._lock:
-            return sum(family.compact(now_ts)
-                       for family in self._families.values())
+            evicted = sum(family.compact(now_ts)
+                          for family in self._families.values())
+        self._m_compactions.inc(len(self._families))
+        if evicted:
+            self._m_compaction_evicted.inc(evicted)
+        return evicted
 
     # ------------------------------------------------------------------
     # read path (MemTable-compatible)
@@ -292,8 +308,13 @@ class DiskTable:
         family = self._families[index.name]
         consulted = sum(1 for sstable in family.sstables
                         if sstable.may_contain(key_value))
+        skipped = len(family.sstables) - consulted
         self.disk_reads += consulted
-        self.bloom_skips += len(family.sstables) - consulted
+        self.bloom_skips += skipped
+        if consulted:
+            self._m_disk_reads.inc(consulted)
+        if skipped:
+            self._m_bloom_skips.inc(skipped)
         memtable_iter = self._memtable.structure(index.name).scan(key_value)
         sst_iter = family.scan_key(key_value)
         produced = 0

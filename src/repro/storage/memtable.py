@@ -19,6 +19,7 @@ from typing import (Any, Callable, Dict, Iterator, List, Optional, Sequence,
                     Tuple)
 
 from ..errors import IndexNotFoundError, SchemaError, StorageError
+from ..obs import NULL_OBS, Observability
 from ..schema import IndexDef, Row, Schema
 from ..types import ColumnType
 from .encoding import RowCodec
@@ -48,12 +49,15 @@ class MemTable:
         replicas: replica count, used by the memory estimator and cluster
             simulation (data itself is stored once in-process).
         seed: RNG seed for skiplist level generation (reproducibility).
+        obs: observability handle; the default disabled instance makes
+            every instrument a shared no-op.
     """
 
     def __init__(self, name: str, schema: Schema,
                  indexes: Sequence[IndexDef],
                  replicas: int = 1,
-                 seed: Optional[int] = 0) -> None:
+                 seed: Optional[int] = 0,
+                 obs: Optional[Observability] = None) -> None:
         if not indexes:
             raise SchemaError(f"table {name!r} needs at least one index")
         for index in indexes:
@@ -88,6 +92,11 @@ class MemTable:
         self._log_lock = threading.Lock()
         self._subscribers: List[InsertCallback] = []
         self._bytes = 0
+        metrics = (obs or NULL_OBS).registry.labels(table=name)
+        self._m_inserts = metrics.counter("storage.inserts")
+        self._m_seeks = metrics.counter("storage.index.seeks")
+        self._m_scans = metrics.counter("storage.window.scans")
+        self._m_ttl_evicted = metrics.counter("storage.ttl.evicted")
 
     # ------------------------------------------------------------------
     # write path
@@ -113,6 +122,7 @@ class MemTable:
             self._structures[index.name].put(key, ts, validated)
         for callback in self._subscribers:
             callback(self.name, validated, offset)
+        self._m_inserts.inc()
         return offset
 
     def insert_many(self, rows: Sequence[Sequence[Any]]) -> int:
@@ -174,6 +184,7 @@ class MemTable:
         ``limit`` caps the number of rows (``ROWS BETWEEN n PRECEDING``).
         """
         index = self.find_index(keys, ts_column)
+        self._m_scans.inc()
         return self._structures[index.name].scan(
             key_value, start_ts=start_ts, end_ts=end_ts, limit=limit)
 
@@ -187,6 +198,7 @@ class MemTable:
         """
         index = self.find_index(keys)
         structure = self._structures[index.name]
+        self._m_seeks.inc()
         if before_ts is None:
             return structure.latest(key_value)
         for ts, row in structure.scan(key_value, start_ts=before_ts):
@@ -203,8 +215,11 @@ class MemTable:
         binlog replay); eviction frees the online access structures, which
         is what bounds request-path memory.
         """
-        return sum(structure.evict(now_ts)
-                   for structure in self._structures.values())
+        removed = sum(structure.evict(now_ts)
+                      for structure in self._structures.values())
+        if removed:
+            self._m_ttl_evicted.inc(removed)
+        return removed
 
     def key_cardinality(self, index_name: Optional[str] = None) -> int:
         """Distinct key count on an index (defaults to the first)."""
