@@ -1,10 +1,22 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test verify-docs bench examples
+.PHONY: test lint verify verify-docs bench examples
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Prefer ruff when the environment has it; otherwise fall back to the
+# stdlib AST linter (same rule family: F401/E722/E711/E712).
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "ruff not found; using tools/lint.py fallback"; \
+		$(PYTHON) tools/lint.py src tests benchmarks; \
+	fi
+
+verify: lint test
 
 # Extract and execute every fenced python block in README.md and
 # docs/*.md — documentation code must actually run.

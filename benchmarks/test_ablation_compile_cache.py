@@ -12,7 +12,6 @@ import time
 import pytest
 
 from repro.bench import print_table
-from repro.schema import Schema
 from repro.sql.compiler import CompilationCache
 from repro.sql.parser import parse_select
 from repro.workloads.microbench import MicroBenchConfig, build_feature_sql, generate

@@ -10,13 +10,11 @@ exact layout arithmetic — see Section 7.1's codecs and the Redis model in
 
 from __future__ import annotations
 
-import itertools
 
 import pytest
 
 from repro.bench import print_table
 from repro.memory.estimator import measure_memtable_bytes
-from repro.schema import IndexDef
 from repro.storage.encoding import redis_table_bytes
 from repro.storage.memtable import MemTable
 from repro.workloads.talkingdata import (INDEX, SCHEMA, TalkingDataConfig,

@@ -1,6 +1,9 @@
-"""Simulated cluster: tablet servers + nameserver coordination."""
+"""Simulated cluster: tablets, nameserver, replication, failover, faults."""
 
+from .failover import HeartbeatMonitor, RetryPolicy
+from .faults import FaultInjector
 from .nameserver import ClusterTable, NameServer
 from .tablet import Shard, TabletServer
 
-__all__ = ["TabletServer", "Shard", "NameServer", "ClusterTable"]
+__all__ = ["TabletServer", "Shard", "NameServer", "ClusterTable",
+           "RetryPolicy", "HeartbeatMonitor", "FaultInjector"]

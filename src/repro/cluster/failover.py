@@ -1,0 +1,132 @@
+"""Failover protocol pieces: retry policy, heartbeat monitor, election.
+
+The nameserver composes three small mechanisms into the availability
+story of Section 3.1 / 8.2:
+
+* :class:`RetryPolicy` — bounded retries with exponential backoff and a
+  per-RPC timeout.  A routed call that fails (dead, partitioned, or slow
+  tablet) is retried against whatever replica the *re-run* routing step
+  picks, so a retry after failover lands on the new leader.
+* :class:`HeartbeatMonitor` — the ZooKeeper-session stand-in.  Tablets
+  are polled for heartbeats; one that stays silent past the timeout is
+  declared dead, which triggers leadership transfers.
+* :func:`elect_leader` / :func:`catch_up` — promotion of the most
+  caught-up live follower, preceded by replaying the binlog suffix it
+  has not yet applied, so an acknowledged write is never lost by a
+  leadership change.
+
+Everything here is deterministic: time is passed in explicitly where it
+matters, so tests can drive detection without sleeping.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from ..errors import StorageError
+from ..online.binlog import Replicator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .tablet import TabletServer
+
+__all__ = ["RetryPolicy", "HeartbeatMonitor", "elect_leader", "catch_up"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and per-RPC timeout.
+
+    ``attempts`` counts *retries*, i.e. a call is issued at most
+    ``attempts + 1`` times.  Backoff for retry ``n`` (1-based) is
+    ``base_delay_ms * multiplier ** (n - 1)`` capped at
+    ``max_delay_ms``.  ``rpc_timeout_ms`` is handed to every routed
+    tablet call; the fault injector turns partitioned/slowed tablets
+    into :class:`~repro.errors.RpcTimeoutError` against it.
+    """
+
+    attempts: int = 2
+    base_delay_ms: float = 1.0
+    multiplier: float = 2.0
+    max_delay_ms: float = 50.0
+    rpc_timeout_ms: float = 100.0
+
+    def backoff_ms(self, retry: int) -> float:
+        """Delay before the ``retry``-th retry (1-based)."""
+        if retry <= 0:
+            return 0.0
+        delay = self.base_delay_ms * (self.multiplier ** (retry - 1))
+        return min(delay, self.max_delay_ms)
+
+
+class HeartbeatMonitor:
+    """Tracks per-tablet heartbeat recency and declares expiries.
+
+    The nameserver calls :meth:`observe` for every tablet on each
+    liveness sweep; a tablet whose last successful heartbeat is older
+    than ``timeout_ms`` is reported expired.  Time is an explicit
+    ``now_ms`` argument so tests drive the clock.
+    """
+
+    def __init__(self, timeout_ms: float = 3_000.0) -> None:
+        self.timeout_ms = timeout_ms
+        self._last_beat: Dict[str, float] = {}
+
+    def observe(self, tablet_name: str, beat_ok: bool,
+                now_ms: float) -> bool:
+        """Record one heartbeat poll; returns True if the tablet expired."""
+        last = self._last_beat.setdefault(tablet_name, now_ms)
+        if beat_ok:
+            self._last_beat[tablet_name] = now_ms
+            return False
+        return (now_ms - last) >= self.timeout_ms
+
+    def last_beat_ms(self, tablet_name: str) -> Optional[float]:
+        return self._last_beat.get(tablet_name)
+
+    def forget(self, tablet_name: str) -> None:
+        """Reset a tablet's record (on rejoin, so old silence is erased)."""
+        self._last_beat.pop(tablet_name, None)
+
+
+def elect_leader(candidates: Sequence["TabletServer"], table_name: str,
+                 partition_id: int) -> Optional["TabletServer"]:
+    """Pick the most caught-up live follower for promotion.
+
+    Ties break on tablet name so elections are deterministic.  Returns
+    None when no live candidate hosts the shard.
+    """
+    live: List["TabletServer"] = [
+        tablet for tablet in candidates
+        if tablet.alive and tablet.has_shard(table_name, partition_id)]
+    if not live:
+        return None
+    return max(live, key=lambda tablet: (
+        tablet.shard(table_name, partition_id).applied_offset,
+        tablet.name))
+
+
+def catch_up(tablet: "TabletServer", table_name: str, partition_id: int,
+             binlog: Replicator) -> int:
+    """Replay the binlog suffix a replica has not yet applied.
+
+    This is the promotion (and rejoin) path: every acknowledged write is
+    in the partition binlog, so applying ``entries_from(applied + 1)``
+    makes the replica exactly as complete as the acknowledged prefix.
+    Returns the number of entries replayed.
+
+    Raises:
+        StorageError: if the tablet dies mid-replay (the caller should
+            elect a different candidate).
+    """
+    shard = tablet.shard(table_name, partition_id)
+    replayed = 0
+    for entry in binlog.entries_from(shard.applied_offset + 1):
+        applied = tablet.replicate(table_name, partition_id, entry.row,
+                                   entry.offset)
+        if applied < entry.offset:
+            raise StorageError(
+                f"{tablet.name} could not apply binlog offset "
+                f"{entry.offset} for {table_name}[{partition_id}]")
+        replayed += 1
+    return replayed

@@ -1,4 +1,4 @@
-"""Nameserver: shard placement, leadership, and failover coordination.
+"""Nameserver: shard placement, leadership, replication, and failover.
 
 Stands in for OpenMLDB's nameserver + ZooKeeper pair (Section 3.1's
 high-availability layer).  Responsibilities:
@@ -6,29 +6,44 @@ high-availability layer).  Responsibilities:
 * **placement** — assign each table partition's replica group across
   tablets (round-robin, leader on the first replica);
 * **routing** — hash a partition key to its partition and return the
-  current leader (writes) or any live replica (reads);
-* **failover** — on a tablet failure, promote a live follower of every
-  shard the dead tablet led (the ZooKeeper-watch behaviour, collapsed to
-  an explicit :meth:`handle_failure` call in the simulation).
-
-Writes replicate synchronously to all live replicas with a shared,
-monotonically increasing offset per partition, so a promoted follower is
-always as complete as the acknowledged writes.
+  current leader; every routed call runs under a
+  :class:`~repro.cluster.failover.RetryPolicy` (bounded retries,
+  exponential backoff, per-RPC timeout), re-routing after failover;
+* **replication** — each partition owns a
+  :class:`~repro.online.binlog.Replicator` binlog.  A ``put`` is
+  acknowledged once the leader applied it *and* the entry is in the
+  binlog; followers apply entries from the binlog either inline
+  (``replication="sync"``, the default) or on the replicator's worker
+  thread (``replication="async"``), with per-follower lag exported as
+  the ``cluster.replication.lag`` gauge;
+* **failover** — a tablet that crashes, partitions away, or misses
+  heartbeats past the timeout is declared dead; for every shard it led,
+  the most caught-up live follower replays the binlog suffix it is
+  missing and takes over.  Because acknowledged writes are always in
+  the binlog, a leadership change never loses one;
+* **degraded reads** — with no live leader (e.g. ``auto_failover=False``
+  or every candidate down), reads may fall back to a follower whose
+  replication lag stays within an explicit staleness bound (entries);
+  beyond the bound they raise :class:`~repro.errors.StaleReadError`.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..errors import IndexNotFoundError, StorageError
+from ..errors import (IndexNotFoundError, RpcTimeoutError, StaleReadError,
+                      StorageError)
 from ..obs import NULL_OBS, Observability
+from ..online.binlog import BinlogEntry, Replicator
 from ..online.engine import OnlineEngine
 from ..schema import IndexDef, Row, Schema
 from ..sql import ast
 from ..sql.compiler import CompilationCache, CompiledQuery
 from ..sql.parser import parse
+from .failover import HeartbeatMonitor, RetryPolicy, catch_up, elect_leader
 from .tablet import TabletServer
 
 __all__ = ["ClusterTable", "NameServer"]
@@ -45,7 +60,15 @@ class ClusterTable:
     replicas: int
     # partition id → ordered tablet names (first = initial leader)
     assignment: Dict[int, List[str]]
-    next_offset: Dict[int, int]
+    # partition id → that partition's binlog (the replication source of
+    # truth: an acknowledged write is always in here)
+    binlogs: Dict[int, Replicator]
+
+    @property
+    def next_offset(self) -> Dict[int, int]:
+        """Partition id → the offset the next acknowledged write gets."""
+        return {partition_id: binlog.last_offset + 1
+                for partition_id, binlog in self.binlogs.items()}
 
 
 class _ClusterTableView:
@@ -54,11 +77,12 @@ class _ClusterTableView:
     The online engine is storage-agnostic: it calls ``find_index`` /
     ``window_scan`` / ``last_join_lookup`` on whatever "table" it is
     given.  This view implements those against the cluster — each call
-    hashes the key to its partition, picks a live replica through the
-    nameserver, and issues the (simulated) RPC with the active trace
-    context attached, so tablet-side spans stitch into the request
-    trace.  Scans on a non-partition index fan out to every partition
-    and merge newest-first, as a real distributed executor must.
+    hashes the key to its partition, routes to the partition leader
+    through the nameserver's retry layer, and issues the (simulated)
+    RPC with the active trace context attached, so tablet-side spans
+    stitch into the request trace.  Scans on a non-partition index fan
+    out to every partition and merge newest-first, as a real
+    distributed executor must.
     """
 
     def __init__(self, nameserver: "NameServer",
@@ -106,11 +130,13 @@ class _ClusterTableView:
         merged: List[Tuple[int, Row]] = []
         for partition_id in self._partitions_for(keys, key_value):
             ns._m_routes.inc()
-            replica = ns.live_replica(self.name, partition_id)
-            merged.extend(replica.window_scan(
-                self.name, partition_id, keys, ts_column, key_value,
-                start_ts=start_ts, end_ts=end_ts, limit=limit,
-                trace_ctx=ctx))
+            merged.extend(ns.routed_read(
+                self.name, partition_id,
+                lambda tablet, timeout_ms, pid=partition_id:
+                    tablet.window_scan(
+                        self.name, pid, keys, ts_column, key_value,
+                        start_ts=start_ts, end_ts=end_ts, limit=limit,
+                        trace_ctx=ctx, timeout_ms=timeout_ms)))
         merged.sort(key=lambda pair: pair[0], reverse=True)
         if limit is not None:
             merged = merged[:limit]
@@ -124,10 +150,13 @@ class _ClusterTableView:
         best: Optional[Tuple[int, Row]] = None
         for partition_id in self._partitions_for(keys, key_value):
             ns._m_routes.inc()
-            replica = ns.live_replica(self.name, partition_id)
-            hit = replica.last_join_lookup(
-                self.name, partition_id, keys, key_value,
-                before_ts=before_ts, trace_ctx=ctx)
+            hit = ns.routed_read(
+                self.name, partition_id,
+                lambda tablet, timeout_ms, pid=partition_id:
+                    tablet.last_join_lookup(
+                        self.name, pid, keys, key_value,
+                        before_ts=before_ts, trace_ctx=ctx,
+                        timeout_ms=timeout_ms))
             if hit is not None and (best is None or hit[0] > best[0]):
                 best = hit
         return best
@@ -135,21 +164,57 @@ class _ClusterTableView:
     def rows(self) -> Iterator[Row]:
         """Full scan across leader shards (offline-mode access path)."""
         for partition_id in range(self._table.partitions):
-            leader = self._ns.leader_of(self.name, partition_id)
+            leader = self._ns.route_to_leader(self.name, partition_id)
             yield from leader.shard(self.name, partition_id).store.rows()
 
 
 class NameServer:
-    """Coordinates a set of tablet servers."""
+    """Coordinates a set of tablet servers.
+
+    Args:
+        tablets: the cluster's tablet servers.
+        obs: shared observability handle (one registry/tracer across
+            nameserver and tablets, so traces stitch and series merge).
+        replication: ``"sync"`` applies binlog entries to followers
+            inline with the acknowledged write (deterministic reads);
+            ``"async"`` ships them on the replicator worker thread, so
+            followers visibly lag and catch up — closest to the paper's
+            binlog-driven replica groups.
+        auto_failover: promote followers automatically when a dead
+            tablet is detected.  With ``False`` (an operator-controlled
+            cluster), dead leaders make writes fail and reads degrade to
+            staleness-bounded followers.
+        retry_policy: bounded-retry/backoff/timeout policy for every
+            routed RPC.
+        heartbeat_timeout_ms: silence threshold for
+            :meth:`check_liveness`.
+        max_staleness: default staleness bound (in binlog *entries*) for
+            degraded follower reads; ``None`` disables them.
+    """
 
     def __init__(self, tablets: Sequence[TabletServer],
-                 obs: Optional[Observability] = None) -> None:
+                 obs: Optional[Observability] = None,
+                 replication: str = "sync",
+                 auto_failover: bool = True,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 heartbeat_timeout_ms: float = 3_000.0,
+                 max_staleness: Optional[int] = None) -> None:
         if not tablets:
             raise StorageError("cluster needs at least one tablet")
+        if replication not in ("sync", "async"):
+            raise StorageError(
+                f"replication must be 'sync' or 'async', "
+                f"got {replication!r}")
         self.tablets: Dict[str, TabletServer] = {
             tablet.name: tablet for tablet in tablets}
         self.tables: Dict[str, ClusterTable] = {}
         self.failovers = 0
+        self.replication = replication
+        self.auto_failover = auto_failover
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.max_staleness = max_staleness
+        self.heartbeats = HeartbeatMonitor(timeout_ms=heartbeat_timeout_ms)
+        self.faults = None  # set via attach_faults (FaultInjector)
         self._obs = obs or NULL_OBS
         for tablet in self.tablets.values():
             tablet.bind_obs(self._obs)
@@ -159,11 +224,29 @@ class NameServer:
         self._m_routes = registry.counter("ns.rpc.routes")
         self._m_requests = registry.counter("ns.requests")
         self._m_failovers = registry.counter("ns.failovers")
+        self._m_retries = registry.counter("ns.rpc.retries")
+        self._m_timeouts = registry.counter("ns.rpc.timeouts")
+        self._m_stale_reads = registry.counter("ns.reads.stale")
+        self._m_replayed = registry.counter("cluster.failover.replayed")
+        self._m_repl_errors = registry.counter(
+            "cluster.replication.errors")
+        self._m_catchups = registry.counter(
+            "cluster.replication.catchups")
         self._h_request = registry.histogram("cluster.request.ms")
+        self._lag_gauges: Dict[Tuple[str, int, str], Any] = {}
+        self._part_locks: Dict[Tuple[str, int], threading.Lock] = {}
+        self._failover_lock = threading.Lock()
         self._views: Dict[str, _ClusterTableView] = {}
         self._deployments: Dict[str, CompiledQuery] = {}
         self._compile_cache = CompilationCache(obs=self._obs)
         self._engine = OnlineEngine(self._views, obs=self._obs)
+
+    def attach_faults(self, injector: Any) -> None:
+        """Wire a :class:`FaultInjector` into every RPC and replication
+        hook (called by the injector's constructor)."""
+        self.faults = injector
+        for tablet in self.tablets.values():
+            tablet.faults = injector
 
     # ------------------------------------------------------------------
     # DDL / placement
@@ -188,10 +271,12 @@ class NameServer:
                 self.tablets[tablet_name].host_shard(
                     name, partition_id, schema, indexes,
                     is_leader=(position == 0))
-        table = ClusterTable(name=name, schema=schema,
-                             indexes=tuple(indexes), partitions=partitions,
-                             replicas=replicas, assignment=assignment,
-                             next_offset={p: 0 for p in range(partitions)})
+            self._part_locks[(name, partition_id)] = threading.Lock()
+        table = ClusterTable(
+            name=name, schema=schema, indexes=tuple(indexes),
+            partitions=partitions, replicas=replicas,
+            assignment=assignment,
+            binlogs={p: Replicator() for p in range(partitions)})
         self.tables[name] = table
         self._views[name] = _ClusterTableView(self, table)
         return table
@@ -205,6 +290,7 @@ class NameServer:
 
     def leader_of(self, table_name: str,
                   partition_id: int) -> TabletServer:
+        """The current live leader, with *no* failover side effects."""
         table = self._table(table_name)
         for tablet_name in table.assignment[partition_id]:
             tablet = self.tablets[tablet_name]
@@ -212,8 +298,33 @@ class NameServer:
                                              partition_id).is_leader:
                 return tablet
         raise StorageError(
-            f"no live leader for {table_name}[{partition_id}]; "
-            "run handle_failure() to elect one")
+            f"no live leader for {table_name}[{partition_id}]")
+
+    def route_to_leader(self, table_name: str,
+                        partition_id: int) -> TabletServer:
+        """Like :meth:`leader_of`, but repairs leadership on the way.
+
+        If the recorded leader is dead and ``auto_failover`` is on, the
+        dead tablet's shards fail over first (the detection a ZooKeeper
+        watch would have delivered), then routing is retried once.
+        """
+        try:
+            return self.leader_of(table_name, partition_id)
+        except StorageError:
+            if not self.auto_failover:
+                raise
+            if not self._failover_dead_replicas(table_name, partition_id):
+                raise
+            return self.leader_of(table_name, partition_id)
+
+    def _failover_dead_replicas(self, table_name: str,
+                                partition_id: int) -> int:
+        """Fail over every dead tablet in one partition's replica group."""
+        transfers = 0
+        for tablet_name in self._table(table_name).assignment[partition_id]:
+            if not self.tablets[tablet_name].alive:
+                transfers += self.handle_failure(tablet_name)
+        return transfers
 
     def live_replica(self, table_name: str,
                      partition_id: int) -> TabletServer:
@@ -232,79 +343,338 @@ class NameServer:
             raise StorageError(f"unknown cluster table {name!r}") from None
 
     # ------------------------------------------------------------------
+    # replication lag
+
+    def _lag_gauge(self, table_name: str, partition_id: int,
+                   tablet_name: str) -> Any:
+        key = (table_name, partition_id, tablet_name)
+        gauge = self._lag_gauges.get(key)
+        if gauge is None:
+            gauge = self._obs.registry.gauge(
+                "cluster.replication.lag", table=table_name,
+                partition=partition_id, tablet=tablet_name)
+            self._lag_gauges[key] = gauge
+        return gauge
+
+    def replication_lag(self, table_name: str, partition_id: int,
+                        tablet_name: str) -> int:
+        """Entries the replica is missing vs the partition binlog."""
+        table = self._table(table_name)
+        shard = self.tablets[tablet_name].shard(table_name, partition_id)
+        return table.binlogs[partition_id].last_offset \
+            - shard.applied_offset
+
+    def replication_barrier(self, timeout: float = 10.0) -> None:
+        """Wait for asynchronous replication to drain (tests/benches)."""
+        for table in self.tables.values():
+            for binlog in table.binlogs.values():
+                if not binlog.wait_idle(timeout=timeout):
+                    raise StorageError(
+                        f"replication did not drain within {timeout}s")
+
+    # ------------------------------------------------------------------
     # data path
 
     def put(self, table_name: str, row: Row,
             key_column: Optional[str] = None) -> int:
         """Write one row through the partition leader, replicating it.
 
-        The partition key defaults to the first index's first key column.
-        Returns the partition-local offset.
+        The partition key defaults to the first index's first key
+        column.  The write is acknowledged — and its partition-local
+        offset returned — once the leader applied it and the entry is in
+        the partition binlog; follower delivery is inline ("sync") or
+        binlog-worker-driven ("async").  A dead or unreachable leader is
+        failed over and the write retried under the retry policy.
         """
         table = self._table(table_name)
         self._m_puts.inc()
         column = key_column or table.indexes[0].key_columns[0]
         key_value = row[table.schema.position(column)]
         partition_id = self.partition_for(table_name, key_value)
-        offset = table.next_offset[partition_id]
-        leader = self.leader_of(table_name, partition_id)
-        leader.write(table_name, partition_id, row, offset)
-        for tablet_name in table.assignment[partition_id]:
-            tablet = self.tablets[tablet_name]
-            if tablet is leader or not tablet.alive:
+        policy = self.retry_policy
+        last_error: Optional[Exception] = None
+        for attempt in range(policy.attempts + 1):
+            if attempt:
+                self._m_retries.inc()
+                time.sleep(policy.backoff_ms(attempt) / 1_000.0)
+            try:
+                leader = self.route_to_leader(table_name, partition_id)
+            except StorageError as exc:
+                last_error = exc
                 continue
-            tablet.write(table_name, partition_id, row, offset)
-        table.next_offset[partition_id] = offset + 1
+            try:
+                return self._put_on_leader(table, partition_id, leader,
+                                           row)
+            except RpcTimeoutError as exc:
+                self._m_timeouts.inc()
+                last_error = exc
+                self._suspect(leader.name)
+            except StorageError as exc:
+                last_error = exc
+                self._suspect(leader.name)
+        raise last_error if last_error is not None else StorageError(
+            f"put to {table_name}[{partition_id}] failed")
+
+    def _put_on_leader(self, table: ClusterTable, partition_id: int,
+                       leader: TabletServer, row: Row) -> int:
+        binlog = table.binlogs[partition_id]
+        timeout_ms = self.retry_policy.rpc_timeout_ms
+        with self._part_locks[(table.name, partition_id)]:
+            offset = binlog.last_offset + 1
+            # Leader applies first: if it rejects (down, timeout, memory
+            # limit) nothing reaches the binlog and nothing was
+            # acknowledged.
+            leader.write(table.name, partition_id, row, offset,
+                         timeout_ms=timeout_ms)
+            if self.replication == "sync":
+                entry = BinlogEntry(offset=offset, table=table.name,
+                                    row=tuple(row))
+                binlog.append_entry(table.name, row)
+                self._replicate_entry(table, partition_id, entry)
+            else:
+                binlog.append_entry(
+                    table.name, row,
+                    closure=lambda entry, t=table, p=partition_id:
+                        self._replicate_entry(t, p, entry))
         return offset
 
+    def _replicate_entry(self, table: ClusterTable, partition_id: int,
+                         entry: BinlogEntry) -> None:
+        """Deliver one binlog entry to every follower replica.
+
+        A follower that missed earlier entries (dropped delivery, was
+        down) is caught up from the binlog first, so application stays
+        contiguous.  Per-follower failures are recorded as metrics and
+        left as lag — never raised into the write path; the binlog holds
+        the entry, and catch-up or failover repairs the replica later.
+        """
+        binlog = table.binlogs[partition_id]
+        for tablet_name in table.assignment[partition_id]:
+            tablet = self.tablets[tablet_name]
+            shard = tablet.shard(table.name, partition_id) \
+                if tablet.has_shard(table.name, partition_id) else None
+            if shard is None or shard.is_leader:
+                continue
+            gauge = self._lag_gauge(table.name, partition_id, tablet_name)
+            if not tablet.alive:
+                gauge.set(binlog.last_offset - shard.applied_offset)
+                continue
+            if self.faults is not None \
+                    and not self.faults.on_replicate(tablet_name):
+                gauge.set(binlog.last_offset - shard.applied_offset)
+                continue
+            try:
+                if entry.offset > shard.applied_offset + 1:
+                    # Repair the gap: replay the missed prefix in order.
+                    self._m_catchups.inc()
+                    for missed in binlog.entries_from(
+                            shard.applied_offset + 1):
+                        if missed.offset >= entry.offset:
+                            break
+                        tablet.replicate(table.name, partition_id,
+                                         missed.row, missed.offset)
+                tablet.replicate(table.name, partition_id, entry.row,
+                                 entry.offset)
+            except Exception:
+                self._m_repl_errors.inc()
+            gauge.set(binlog.last_offset - shard.applied_offset)
+
+    def routed_read(self, table_name: str, partition_id: int,
+                    call: Any,
+                    max_staleness: Optional[int] = None) -> Any:
+        """Run ``call(tablet, timeout_ms)`` against the partition leader.
+
+        The read backbone: routes to the leader (repairing leadership if
+        needed), retries with exponential backoff on tablet failure or
+        RPC timeout, and — when no leader can be produced — degrades to
+        the most caught-up live follower if its lag fits the staleness
+        bound.  A retry is visible in the active trace as an
+        ``rpc.retry`` span.
+        """
+        policy = self.retry_policy
+        bound = max_staleness if max_staleness is not None \
+            else self.max_staleness
+        last_error: Optional[Exception] = None
+        for attempt in range(policy.attempts + 1):
+            if attempt:
+                self._m_retries.inc()
+                with self._obs.tracer.span(
+                        "rpc.retry", table=table_name,
+                        partition=partition_id, attempt=attempt,
+                        error=type(last_error).__name__):
+                    time.sleep(policy.backoff_ms(attempt) / 1_000.0)
+            try:
+                tablet = self.route_to_leader(table_name, partition_id)
+            except StorageError as exc:
+                last_error = exc
+                stale = self._stale_replica(table_name, partition_id,
+                                            bound)
+                if stale is None:
+                    continue
+                tablet = stale
+            try:
+                return call(tablet, policy.rpc_timeout_ms)
+            except RpcTimeoutError as exc:
+                self._m_timeouts.inc()
+                last_error = exc
+                self._suspect(tablet.name)
+            except StorageError as exc:
+                last_error = exc
+                self._suspect(tablet.name)
+        raise last_error if last_error is not None else StorageError(
+            f"read on {table_name}[{partition_id}] failed")
+
+    def _stale_replica(self, table_name: str, partition_id: int,
+                       bound: Optional[int]) -> Optional[TabletServer]:
+        """Degraded-read fallback: best live follower within ``bound``.
+
+        Returns None when degraded reads are disabled (no bound set) or
+        no live replica hosts the shard; raises StaleReadError when the
+        best candidate exceeds the bound — too stale to serve.
+        """
+        if bound is None:
+            return None
+        table = self._table(table_name)
+        candidates = [self.tablets[name]
+                      for name in table.assignment[partition_id]]
+        best = elect_leader(candidates, table_name, partition_id)
+        if best is None:
+            return None
+        lag = self.replication_lag(table_name, partition_id, best.name)
+        if lag > bound:
+            raise StaleReadError(
+                f"no live leader for {table_name}[{partition_id}] and "
+                f"best follower {best.name} lags {lag} entries "
+                f"(> bound {bound})")
+        self._m_stale_reads.inc()
+        return best
+
+    def _suspect(self, tablet_name: str) -> None:
+        """A routed RPC failed against this tablet: declare it dead.
+
+        Timeouts (partition/slow faults) and crashes look the same from
+        the caller's side; the simulation mirrors a lease-less system
+        and fails the tablet over so the retry can land elsewhere.
+        """
+        if self.auto_failover:
+            self.handle_failure(tablet_name)
+
     def get_latest(self, table_name: str, key_value: Any,
-                   keys: Optional[Sequence[str]] = None
+                   keys: Optional[Sequence[str]] = None,
+                   max_staleness: Optional[int] = None
                    ) -> Optional[Tuple[int, Row]]:
-        """Read the newest row for a key from any live replica."""
+        """Read the newest row for a key through the partition leader.
+
+        ``max_staleness`` (entries) enables a degraded follower read
+        when no leader is available — see :meth:`routed_read`.
+        """
         table = self._table(table_name)
         self._m_gets.inc()
         key_columns = tuple(keys) if keys else table.indexes[0].key_columns
         partition_id = self.partition_for(table_name, key_value)
-        replica = self.live_replica(table_name, partition_id)
-        return replica.read_latest(table_name, partition_id, key_columns,
-                                   key_value)
+        return self.routed_read(
+            table_name, partition_id,
+            lambda tablet, timeout_ms: tablet.read_latest(
+                table_name, partition_id, key_columns, key_value,
+                timeout_ms=timeout_ms),
+            max_staleness=max_staleness)
 
     # ------------------------------------------------------------------
-    # failover
+    # liveness / failover
+
+    def check_liveness(self, now_ms: Optional[float] = None) -> List[str]:
+        """One heartbeat sweep: poll every tablet, fail over the silent.
+
+        A tablet is declared dead once it has not delivered a heartbeat
+        for ``heartbeat_timeout_ms`` — whether it crashed or is merely
+        partitioned away.  Returns the tablets failed over this sweep.
+        Pass ``now_ms`` explicitly for deterministic tests; it defaults
+        to the wall clock.
+        """
+        now = time.monotonic() * 1_000.0 if now_ms is None else now_ms
+        expired: List[str] = []
+        for name, tablet in self.tablets.items():
+            if self.heartbeats.observe(name, tablet.heartbeat(), now):
+                expired.append(name)
+        if self.auto_failover:
+            for name in expired:
+                self.handle_failure(name)
+        return expired
 
     def handle_failure(self, tablet_name: str) -> int:
-        """Promote followers for every shard the failed tablet led.
+        """Fail a tablet over: promote followers for every shard it led.
 
-        Returns the number of leadership transfers (the simulation's
-        analogue of ZooKeeper watches firing).
+        Each promotion replays the binlog suffix the chosen follower has
+        not yet applied (most caught-up live follower wins; ties break
+        on name), so no acknowledged write is lost.  Returns the number
+        of leadership transfers (the simulation's analogue of ZooKeeper
+        watches firing).  Idempotent: failing an already-failed tablet
+        transfers nothing.
         """
-        failed = self.tablets[tablet_name]
-        failed.fail()
-        transfers = 0
+        with self._failover_lock:
+            failed = self.tablets[tablet_name]
+            failed.fail()
+            transfers = 0
+            replayed_total = 0
+            for table in self.tables.values():
+                for partition_id, tablet_names in table.assignment.items():
+                    if tablet_name not in tablet_names:
+                        continue
+                    shard = failed.shard(table.name, partition_id)
+                    if not shard.is_leader:
+                        continue
+                    shard.is_leader = False
+                    candidates = [self.tablets[other]
+                                  for other in tablet_names
+                                  if other != tablet_name]
+                    binlog = table.binlogs[partition_id]
+                    while True:
+                        best = elect_leader(candidates, table.name,
+                                            partition_id)
+                        if best is None:
+                            break
+                        try:
+                            replayed_total += catch_up(
+                                best, table.name, partition_id, binlog)
+                        except Exception:
+                            # Candidate died mid-replay: elect the next.
+                            candidates = [c for c in candidates
+                                          if c is not best]
+                            continue
+                        best.promote(table.name, partition_id)
+                        self._lag_gauge(table.name, partition_id,
+                                        best.name).set(0)
+                        transfers += 1
+                        break
+            self.failovers += transfers
+            if transfers:
+                self._m_failovers.inc(transfers)
+            if replayed_total:
+                self._m_replayed.inc(replayed_total)
+            return transfers
+
+    def reintegrate(self, tablet_name: str) -> int:
+        """Bring a recovered tablet back as a follower, caught up.
+
+        Every shard it hosts replays the binlog suffix it missed while
+        down (leadership is *not* restored — it rejoins as a follower
+        unless no failover happened).  Returns entries replayed.
+        """
+        tablet = self.tablets[tablet_name]
+        tablet.recover()
+        self.heartbeats.forget(tablet_name)
+        replayed = 0
         for table in self.tables.values():
             for partition_id, tablet_names in table.assignment.items():
                 if tablet_name not in tablet_names:
                     continue
-                shard = failed.shard(table.name, partition_id)
-                if not shard.is_leader:
-                    continue
-                shard.is_leader = False
-                # Promote the most caught-up live follower.
-                candidates = [
-                    self.tablets[other] for other in tablet_names
-                    if other != tablet_name and self.tablets[other].alive
-                ]
-                if not candidates:
-                    continue
-                best = max(candidates,
-                           key=lambda tablet: tablet.shard(
-                               table.name, partition_id).applied_offset)
-                best.promote(table.name, partition_id)
-                transfers += 1
-        self.failovers += transfers
-        if transfers:
-            self._m_failovers.inc(transfers)
-        return transfers
+                replayed += catch_up(tablet, table.name, partition_id,
+                                     table.binlogs[partition_id])
+                self._lag_gauge(table.name, partition_id,
+                                tablet_name).set(0)
+        if replayed:
+            self._m_catchups.inc()
+        return replayed
 
     # ------------------------------------------------------------------
     # online serving (request mode over the cluster)
@@ -330,8 +700,10 @@ class NameServer:
         The nameserver acts as the request frontend: it opens the
         ``deployment.execute`` root span, and every storage read the
         engine makes is routed (with the trace context) to whichever
-        tablet hosts the partition — producing one stitched trace
-        across tablet servers.
+        tablet leads the partition — producing one stitched trace
+        across tablet servers.  Tablet failures mid-request surface as
+        ``rpc.retry`` spans and re-routed calls, not request errors,
+        as long as a failover candidate exists.
         """
         try:
             compiled = self._deployments[name]
@@ -344,3 +716,11 @@ class NameServer:
             features = self._engine.execute_request(compiled, row)
         self._h_request.observe((time.perf_counter() - start) * 1_000)
         return dict(zip(compiled.output_names, features))
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop every partition binlog's worker thread."""
+        for table in self.tables.values():
+            for binlog in table.binlogs.values():
+                binlog.close()

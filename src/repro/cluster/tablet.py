@@ -7,6 +7,16 @@ simulation keeps the same structure — shards, replicas, leader/follower
 roles, heartbeat liveness, per-tablet memory governance — so cluster
 behaviours (failover, replica reads, memory isolation per Section 8.2)
 are testable without a network.
+
+Every serving method passes through one RPC guard: a dead tablet raises
+:class:`~repro.errors.StorageError`, and an attached
+:class:`~repro.cluster.faults.FaultInjector` can turn the call into a
+timeout (partitioned tablet) or delay it (slow tablet) against the
+caller's per-RPC timeout.  Replication applies binlog entries through
+:meth:`TabletServer.replicate`, which enforces offset contiguity — a
+follower never silently skips an entry, so ``applied_offset`` is always
+the length of the prefix it truly holds (what leader election relies
+on).
 """
 
 from __future__ import annotations
@@ -29,7 +39,9 @@ class Shard:
     """One partition replica of a table hosted on a tablet.
 
     ``is_leader`` marks the replica accepting writes; followers apply
-    replicated rows and serve reads.
+    replicated rows and serve reads.  ``applied_offset`` is the highest
+    *contiguously* applied binlog offset — the replica holds exactly the
+    entries ``0..applied_offset``.
     """
 
     table: str
@@ -57,6 +69,7 @@ class TabletServer:
         self._shards: Dict[Tuple[str, int], Shard] = {}
         self._lock = threading.Lock()
         self.alive = True
+        self.faults = None  # set via NameServer.attach_faults
         self.bind_obs(obs or NULL_OBS)
 
     def bind_obs(self, obs: Observability) -> None:
@@ -66,8 +79,40 @@ class TabletServer:
         self._m_writes = metrics.counter("tablet.rpc.writes")
         self._m_reads = metrics.counter("tablet.rpc.reads")
         self._m_scans = metrics.counter("tablet.rpc.scans")
+        self._m_replicated = metrics.counter("tablet.rpc.replicated")
 
     # ------------------------------------------------------------------
+    # the simulated RPC guard
+
+    def _check_serving(self, timeout_ms: Optional[float] = None) -> None:
+        """Reject the call if this tablet is down, partitioned, or slow.
+
+        Raises:
+            StorageError: the tablet crashed (is not ``alive``).
+            RpcTimeoutError: an injected partition/slow fault exceeds the
+                caller's per-RPC timeout.
+        """
+        if not self.alive:
+            raise StorageError(f"{self.name} is down")
+        if self.faults is not None:
+            self.faults.on_rpc(self.name, timeout_ms)
+
+    def heartbeat(self) -> bool:
+        """One liveness probe: True iff the beat reaches the nameserver.
+
+        A dead tablet sends nothing; a partitioned one sends beats that
+        never arrive — both look identical to the monitor, which is the
+        point: failover keys off *silence*, not cause of death.
+        """
+        if not self.alive:
+            return False
+        if self.faults is not None and not self.faults.heartbeat_ok(
+                self.name):
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # shard hosting
 
     def host_shard(self, table: str, partition_id: int, schema: Schema,
                    indexes: Sequence[IndexDef],
@@ -85,6 +130,24 @@ class TabletServer:
             self._shards[key] = shard
             return shard
 
+    def drop_shard(self, table: str, partition_id: int) -> Shard:
+        """Stop hosting a shard, returning the memory it held.
+
+        Raises:
+            StorageError: if the shard is not hosted here (e.g. a
+                concurrent drop won the race).
+        """
+        key = (table, partition_id)
+        with self._lock:
+            try:
+                shard = self._shards.pop(key)
+            except KeyError:
+                raise StorageError(
+                    f"{self.name} does not host {table}[{partition_id}]"
+                ) from None
+        self.governor.release(shard.store.memory_bytes)
+        return shard
+
     def shard(self, table: str, partition_id: int) -> Shard:
         try:
             return self._shards[(table, partition_id)]
@@ -100,18 +163,19 @@ class TabletServer:
         return iter(list(self._shards.values()))
 
     # ------------------------------------------------------------------
+    # write path
 
     def write(self, table: str, partition_id: int, row: Row,
-              offset: int) -> None:
-        """Apply one row to a hosted shard (leader write or replication).
+              offset: int, timeout_ms: Optional[float] = None) -> None:
+        """Apply one row to a hosted shard (the leader write path).
 
         Raises:
             StorageError: if the tablet is down.
+            RpcTimeoutError: if a fault makes the RPC exceed its timeout.
             MemoryLimitExceededError: past the tablet's memory limit
                 (reads keep working — the isolation contract).
         """
-        if not self.alive:
-            raise StorageError(f"{self.name} is down")
+        self._check_serving(timeout_ms)
         shard = self.shard(table, partition_id)
         self.governor.charge(shard.store.codec.encoded_size(
             shard.store.schema.validate_row(row)))
@@ -119,11 +183,41 @@ class TabletServer:
         shard.applied_offset = offset
         self._m_writes.inc()
 
+    def replicate(self, table: str, partition_id: int, row: Row,
+                  offset: int, timeout_ms: Optional[float] = None) -> int:
+        """Apply one replicated binlog entry; returns ``applied_offset``.
+
+        Delivery is idempotent (a duplicate offset is a no-op) and
+        contiguous: an entry past ``applied_offset + 1`` is rejected, so
+        a dropped entry shows up as lag rather than a silent gap — the
+        catch-up path then replays the missing suffix in order.
+
+        Raises:
+            StorageError: tablet down, shard not hosted, or a replication
+                gap (``offset > applied_offset + 1``).
+            RpcTimeoutError: injected partition/slow fault.
+            MemoryLimitExceededError: past the tablet's memory limit.
+        """
+        self._check_serving(timeout_ms)
+        shard = self.shard(table, partition_id)
+        if offset <= shard.applied_offset:
+            return shard.applied_offset
+        if offset != shard.applied_offset + 1:
+            raise StorageError(
+                f"{self.name}: replication gap on {table}[{partition_id}] "
+                f"(offset {offset}, applied {shard.applied_offset})")
+        self.governor.charge(shard.store.codec.encoded_size(
+            shard.store.schema.validate_row(row)))
+        shard.store.insert(row)
+        shard.applied_offset = offset
+        self._m_replicated.inc()
+        return shard.applied_offset
+
     def read_latest(self, table: str, partition_id: int,
-                    keys: Sequence[str], key_value: Any
+                    keys: Sequence[str], key_value: Any,
+                    timeout_ms: Optional[float] = None
                     ) -> Optional[Tuple[int, Row]]:
-        if not self.alive:
-            raise StorageError(f"{self.name} is down")
+        self._check_serving(timeout_ms)
         self._m_reads.inc()
         return self.shard(table, partition_id).store.last_join_lookup(
             keys, key_value)
@@ -136,7 +230,8 @@ class TabletServer:
                     start_ts: Optional[int] = None,
                     end_ts: Optional[int] = None,
                     limit: Optional[int] = None,
-                    trace_ctx: Optional[Dict[str, int]] = None
+                    trace_ctx: Optional[Dict[str, int]] = None,
+                    timeout_ms: Optional[float] = None
                     ) -> list:
         """Scan one partition's window rows, resuming the caller's trace.
 
@@ -144,8 +239,7 @@ class TabletServer:
         produced — the same trace-context propagation a real RPC carries,
         which stitches the tablet-side spans into the request trace.
         """
-        if not self.alive:
-            raise StorageError(f"{self.name} is down")
+        self._check_serving(timeout_ms)
         self._m_scans.inc()
         store = self.shard(table, partition_id).store
         tracer = self._obs.tracer
@@ -164,11 +258,11 @@ class TabletServer:
     def last_join_lookup(self, table: str, partition_id: int,
                          keys: Sequence[str], key_value: Any,
                          before_ts: Optional[int] = None,
-                         trace_ctx: Optional[Dict[str, int]] = None
+                         trace_ctx: Optional[Dict[str, int]] = None,
+                         timeout_ms: Optional[float] = None
                          ) -> Optional[Tuple[int, Row]]:
         """LAST JOIN point lookup on one partition, trace-context aware."""
-        if not self.alive:
-            raise StorageError(f"{self.name} is down")
+        self._check_serving(timeout_ms)
         self._m_reads.inc()
         store = self.shard(table, partition_id).store
         with self._obs.tracer.start_from(
@@ -186,6 +280,8 @@ class TabletServer:
         self.alive = False
 
     def recover(self) -> None:
+        """Restart after a crash.  Rejoining a cluster should go through
+        :meth:`NameServer.reintegrate` so hosted shards catch up."""
         self.alive = True
 
     def promote(self, table: str, partition_id: int) -> None:

@@ -211,13 +211,26 @@ class OpenMLDB:
             abs_ms = 0
             lat = 0
             if text and text[-1].lower() in _INTERVAL_UNITS_MS:
-                abs_ms = int(text[:-1]) * _INTERVAL_UNITS_MS[text[-1].lower()]
+                try:
+                    count = int(text[:-1])
+                except ValueError:
+                    raise SchemaError(
+                        f"malformed TTL value {text!r}; expected "
+                        "'<n><s|m|h|d>' or a bare number") from None
+                if count < 0:
+                    raise SchemaError(
+                        f"TTL value {text!r} must not be negative")
+                abs_ms = count * _INTERVAL_UNITS_MS[text[-1].lower()]
             elif text.isdigit():
                 value = int(text)
                 if kind in (TTLKind.LATEST,):
                     lat = value
                 else:
                     abs_ms = value * 60_000  # bare numbers are minutes
+            else:
+                raise SchemaError(
+                    f"malformed TTL value {text!r}; expected "
+                    "'<n><s|m|h|d>' or a bare number")
             ttl = TTLSpec(kind=kind, abs_ttl_ms=abs_ms, lat_ttl=lat)
         return IndexDef(key_columns=clause.key_columns,
                         ts_column=clause.ts_column, ttl=ttl)

@@ -77,6 +77,25 @@ class IndexNotFoundError(StorageError):
     """Raised when no index matches a requested (key, ts) access path."""
 
 
+class RpcTimeoutError(StorageError):
+    """Raised when a simulated cluster RPC exceeds its per-call timeout.
+
+    Produced by the fault injector (partitioned or slowed tablets); the
+    nameserver's retry layer treats it like any other tablet failure and
+    re-routes after failover.
+    """
+
+
+class StaleReadError(StorageError):
+    """Raised when a degraded follower read exceeds its staleness bound.
+
+    With no live leader, reads may fall back to a follower only while its
+    replication lag stays within the caller's explicit bound (Section 8.2's
+    graceful-degradation contract); beyond it, failing loudly is safer than
+    serving arbitrarily old features.
+    """
+
+
 class DeploymentError(OpenMLDBError):
     """Raised for invalid deployment operations (deploy/undeploy/request)."""
 

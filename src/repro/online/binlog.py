@@ -101,6 +101,18 @@ class Replicator:
         with self._lock:
             return len(self._entries) - 1
 
+    @property
+    def entry_count(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def pending(self) -> int:
+        """Closures appended but not yet executed (replication queue
+        depth — the binlog-side view of replica lag)."""
+        with self._pending_cond:
+            return self._pending
+
     def wait_idle(self, timeout: Optional[float] = None) -> bool:
         """Block until all scheduled closures have executed.
 

@@ -65,13 +65,20 @@ def parse_long_windows(option: str) -> Tuple[LongWindowOption, ...]:
                 raise ValueError("empty window name")
             unit = bucket[-1]
             count = int(bucket[:-1])
-            parsed.append(LongWindowOption(
-                window=window.strip(),
-                bucket_ms=count * _UNIT_MS[unit]))
+            unit_ms = _UNIT_MS[unit]
         except (ValueError, KeyError, IndexError):
             raise DeploymentError(
                 f"malformed long_windows entry {piece!r}; expected "
                 "'<window>:<n><s|m|h|d>'") from None
+        if count < 1:
+            # A non-positive count would make bucket_ms <= 0, and every
+            # downstream floor-division/modulo by bucket size would
+            # divide by zero (or walk buckets backwards).
+            raise DeploymentError(
+                f"long_windows entry {piece!r}: bucket count must be "
+                ">= 1")
+        parsed.append(LongWindowOption(window=window.strip(),
+                                       bucket_ms=count * unit_ms))
     if not parsed:
         raise DeploymentError("long_windows option is empty")
     return tuple(parsed)

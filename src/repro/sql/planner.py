@@ -220,11 +220,15 @@ def _split_constants(call: ast.FuncCall) -> Tuple[Tuple[ast.Expr, ...],
     Uses the aggregate's declared arity (``value_args``/``extra_args``)
     so e.g. ``topn_frequency(col, 3)`` yields ``((col,), (3,))``.
     """
+    from ..errors import CompileError
     from .functions import aggregate_arity  # local: avoid import cycle
 
     try:
         value_count, extra_count = aggregate_arity(call.name)
-    except Exception:
+    except CompileError:
+        # Only the registry's unknown-name signal; anything else (an
+        # ImportError in functions.py, a buggy aggregate class) must
+        # propagate rather than masquerade as "unknown aggregate".
         raise PlanError(f"unknown aggregate {call.name!r}") from None
     if len(call.args) != value_count + extra_count:
         raise PlanError(

@@ -31,10 +31,18 @@ InsertCallback = Callable[[str, Row, int], None]
 
 
 def normalize_ts(value: Any) -> int:
-    """Convert a timestamp column value to integer milliseconds."""
+    """Convert a timestamp column value to integer milliseconds.
+
+    Naive datetimes are interpreted as UTC: ``.timestamp()`` on a naive
+    value applies the *local* timezone, so the same dataset would hash
+    into different window buckets depending on the machine's ``TZ`` —
+    a silent source of train/serve skew.
+    """
     if isinstance(value, int):
         return value
     if isinstance(value, _dt.datetime):
+        if value.tzinfo is None:
+            value = value.replace(tzinfo=_dt.timezone.utc)
         return int(value.timestamp() * 1000)
     raise StorageError(f"cannot use {value!r} as a timestamp")
 

@@ -1,7 +1,6 @@
 """Tests for the binlog replicator (paper Section 5.1)."""
 
 import threading
-import time
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for the LSM bloom filters."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.schema import IndexDef, Schema

@@ -64,6 +64,26 @@ class TestDDL:
                    "INDEX(KEY=k, TS=ts, TTL=100, TTL_TYPE=latest))")
         assert db.table("t").indexes[0].ttl.lat_ttl == 100
 
+    @pytest.mark.parametrize("ttl", ["d", "xxd"])
+    def test_malformed_ttl_in_sql_rejected(self, ttl):
+        # Used to slip through as int("") / int("xx") ValueError or a
+        # silent TTL of 0; now a SchemaError naming the value.
+        db = OpenMLDB()
+        with pytest.raises(SchemaError, match="TTL"):
+            db.execute(f"CREATE TABLE t (k string, ts timestamp, "
+                       f"INDEX(KEY=k, TS=ts, TTL={ttl}, "
+                       f"TTL_TYPE=absolute))")
+
+    @pytest.mark.parametrize("ttl", ["7x", "-3d", "1.5h", ""])
+    def test_malformed_ttl_clause_rejected(self, ttl):
+        # Values the SQL tokenizer would never produce still arrive via
+        # the programmatic DDL path; the clause validator catches them.
+        from repro.sql import ast
+        clause = ast.IndexClause(key_columns=("k",), ts_column="ts",
+                                 ttl_value=ttl, ttl_type="absolute")
+        with pytest.raises(SchemaError, match="TTL"):
+            OpenMLDB._index_from_clause(clause)
+
     def test_disk_storage_engine(self):
         db = OpenMLDB()
         table = db.create_table(

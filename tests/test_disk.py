@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.schema import IndexDef, Schema, TTLKind, TTLSpec
+from repro.schema import IndexDef, TTLKind, TTLSpec
 from repro.storage.disk import ColumnFamily, DiskTable, SSTable
 
 

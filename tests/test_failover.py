@@ -1,0 +1,380 @@
+"""Fault-tolerance tests: replication, failover, and degraded reads.
+
+Drives the cluster through injected faults (crash, partition, slow,
+dropped replication) and checks the availability contract: an
+acknowledged write is never lost by a leadership change, routed calls
+succeed with bounded retries, and reads degrade to staleness-bounded
+followers only when asked to.
+"""
+
+import pytest
+
+from repro.cluster import (FaultInjector, HeartbeatMonitor, NameServer,
+                           RetryPolicy, TabletServer)
+from repro.errors import StaleReadError, StorageError
+from repro.obs import Observability
+from repro.schema import IndexDef, Schema
+
+# Tight policy so injected timeouts/retries cost microseconds, not the
+# defaults' real backoff.
+FAST = RetryPolicy(attempts=2, base_delay_ms=0.1, multiplier=2.0,
+                   max_delay_ms=1.0, rpc_timeout_ms=20.0)
+
+
+@pytest.fixture
+def schema():
+    # Int partition key: hash(int) is unsalted, so routing does not
+    # depend on PYTHONHASHSEED.
+    return Schema.from_pairs([
+        ("uid", "int"), ("ts", "timestamp"), ("v", "double")])
+
+
+def make_cluster(schema, tablets=3, partitions=2, replicas=2, **kwargs):
+    servers = [TabletServer(f"tablet-{i}") for i in range(tablets)]
+    kwargs.setdefault("retry_policy", FAST)
+    nameserver = NameServer(servers, **kwargs)
+    nameserver.create_table("t", schema, [IndexDef(("uid",), "ts")],
+                            partitions=partitions, replicas=replicas)
+    return nameserver
+
+
+def follower_names(cluster, partition_id, table="t"):
+    leader = cluster.leader_of(table, partition_id).name
+    return [name for name in cluster.tables[table].assignment[partition_id]
+            if name != leader]
+
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential(self):
+        policy = RetryPolicy(base_delay_ms=1.0, multiplier=2.0,
+                             max_delay_ms=50.0)
+        assert policy.backoff_ms(1) == pytest.approx(1.0)
+        assert policy.backoff_ms(2) == pytest.approx(2.0)
+        assert policy.backoff_ms(3) == pytest.approx(4.0)
+
+    def test_backoff_is_capped(self):
+        policy = RetryPolicy(base_delay_ms=1.0, multiplier=10.0,
+                             max_delay_ms=50.0)
+        assert policy.backoff_ms(5) == pytest.approx(50.0)
+
+    def test_zeroth_retry_has_no_delay(self):
+        assert RetryPolicy().backoff_ms(0) == 0.0
+
+
+class TestHeartbeatMonitor:
+    def test_expires_after_silence_past_timeout(self):
+        monitor = HeartbeatMonitor(timeout_ms=3_000.0)
+        assert monitor.observe("a", False, 0.0) is False  # seeds
+        assert monitor.observe("a", False, 2_000.0) is False
+        assert monitor.observe("a", False, 3_000.0) is True
+
+    def test_successful_beat_resets_the_clock(self):
+        monitor = HeartbeatMonitor(timeout_ms=3_000.0)
+        monitor.observe("a", True, 0.0)
+        monitor.observe("a", True, 2_500.0)
+        assert monitor.observe("a", False, 5_000.0) is False
+        assert monitor.last_beat_ms("a") == 2_500.0
+
+    def test_forget_erases_old_silence(self):
+        monitor = HeartbeatMonitor(timeout_ms=3_000.0)
+        monitor.observe("a", True, 0.0)
+        monitor.observe("a", False, 1_000.0)
+        monitor.forget("a")
+        # Rejoining seeds fresh — ancient silence must not expire it.
+        assert monitor.observe("a", False, 10_000.0) is False
+
+
+class TestZeroLossFailover:
+    def test_kill_leader_loses_no_acknowledged_writes(self, schema):
+        """The core guarantee: async replication, a follower that missed
+        every entry, leader killed — promotion replays the binlog suffix
+        so all acknowledged writes survive."""
+        cluster = make_cluster(schema, replication="async")
+        faults = FaultInjector(cluster)
+        try:
+            partition_id = cluster.partition_for("t", 7)
+            leader = cluster.leader_of("t", partition_id)
+            for follower in follower_names(cluster, partition_id):
+                faults.drop_replication(follower)
+            for k in range(5):
+                cluster.put("t", (7, 1_000 + k, float(k)))
+            cluster.replication_barrier()
+            assert faults.dropped_entries == 5
+            faults.kill(leader.name)
+            hit = cluster.get_latest("t", 7)
+            assert hit is not None and hit[0] == 1_004
+            new_leader = cluster.leader_of("t", partition_id)
+            assert new_leader.name != leader.name
+            binlog = cluster.tables["t"].binlogs[partition_id]
+            shard = new_leader.shard("t", partition_id)
+            assert shard.applied_offset == binlog.last_offset
+            assert shard.store.row_count == 5
+            assert cluster.failovers >= 1
+        finally:
+            cluster.close()
+
+    def test_mid_workload_kill_keeps_every_acked_row(self, schema):
+        cluster = make_cluster(schema, partitions=4)
+        faults = FaultInjector(cluster)
+        victim = cluster.leader_of("t", cluster.partition_for("t", 0))
+        for uid in range(50):
+            if uid == 25:
+                faults.kill(victim.name)
+            cluster.put("t", (uid, uid, float(uid)))
+        total = sum(
+            cluster.route_to_leader("t", pid).shard("t", pid)
+            .store.row_count
+            for pid in range(4))
+        assert total == 50
+
+    def test_failover_is_idempotent(self, schema):
+        cluster = make_cluster(schema)
+        cluster.put("t", (1, 100, 1.0))
+        partition_id = cluster.partition_for("t", 1)
+        leader = cluster.leader_of("t", partition_id)
+        assert cluster.handle_failure(leader.name) >= 1
+        assert cluster.handle_failure(leader.name) == 0
+
+    def test_promotion_prefers_most_caught_up_follower(self, schema):
+        cluster = make_cluster(schema, tablets=3, partitions=1,
+                               replicas=3)
+        faults = FaultInjector(cluster)
+        leader = cluster.leader_of("t", 0)
+        behind, current = follower_names(cluster, 0)
+        faults.drop_replication(behind)
+        keys = [uid for uid in range(20)
+                if cluster.partition_for("t", uid) == 0][:3]
+        for uid in keys:
+            cluster.put("t", (uid, uid, 0.0))
+        assert cluster.replication_lag("t", 0, behind) == 3
+        assert cluster.replication_lag("t", 0, current) == 0
+        faults.kill(leader.name)
+        cluster.handle_failure(leader.name)
+        assert cluster.leader_of("t", 0).name == current
+
+
+class TestReplicationLag:
+    def test_lag_gauge_tracks_dropped_entries_then_catchup(self, schema):
+        obs = Observability(enabled=True)
+        cluster = make_cluster(schema, obs=obs)
+        faults = FaultInjector(cluster)
+        partition_id = cluster.partition_for("t", 7)
+        follower = follower_names(cluster, partition_id)[0]
+        faults.drop_replication(follower, count=3)
+        for k in range(3):
+            cluster.put("t", (7, 1_000 + k, float(k)))
+        assert cluster.replication_lag("t", partition_id, follower) == 3
+        gauge = obs.registry.get("cluster.replication.lag", table="t",
+                                 partition=partition_id, tablet=follower)
+        assert gauge.value == 3
+        # The next delivered entry finds the gap and replays the missed
+        # prefix from the binlog before applying.
+        cluster.put("t", (7, 2_000, 9.0))
+        assert cluster.replication_lag("t", partition_id, follower) == 0
+        assert gauge.value == 0
+        assert obs.registry.get("cluster.replication.catchups").value >= 1
+        shard = cluster.tablets[follower].shard("t", partition_id)
+        assert shard.store.row_count == 4
+
+    def test_async_replication_drains_at_the_barrier(self, schema):
+        cluster = make_cluster(schema, replication="async")
+        try:
+            partition_id = cluster.partition_for("t", 7)
+            for k in range(10):
+                cluster.put("t", (7, k, float(k)))
+            cluster.replication_barrier()
+            binlog = cluster.tables["t"].binlogs[partition_id]
+            assert binlog.pending == 0
+            for name in cluster.tables["t"].assignment[partition_id]:
+                assert cluster.replication_lag(
+                    "t", partition_id, name) == 0
+        finally:
+            cluster.close()
+
+
+class TestHeartbeatDetection:
+    def test_partitioned_leader_expires_and_fails_over(self, schema):
+        cluster = make_cluster(schema,
+                               heartbeat_timeout_ms=3_000.0)
+        faults = FaultInjector(cluster)
+        cluster.put("t", (7, 100, 1.0))
+        partition_id = cluster.partition_for("t", 7)
+        leader = cluster.leader_of("t", partition_id)
+        faults.partition(leader.name)
+        assert cluster.check_liveness(now_ms=0.0) == []  # seeds clocks
+        expired = cluster.check_liveness(now_ms=5_000.0)
+        assert leader.name in expired
+        new_leader = cluster.leader_of("t", partition_id)
+        assert new_leader.name != leader.name
+        cluster.put("t", (7, 200, 2.0))
+        assert cluster.get_latest("t", 7)[0] == 200
+
+    def test_healthy_cluster_never_expires(self, schema):
+        cluster = make_cluster(schema)
+        assert cluster.check_liveness(now_ms=0.0) == []
+        assert cluster.check_liveness(now_ms=1_000_000.0) == []
+
+
+class TestRoutedRpcResilience:
+    def test_slow_leader_times_out_and_retry_succeeds(self, schema):
+        obs = Observability(enabled=True)
+        cluster = make_cluster(schema, obs=obs)
+        faults = FaultInjector(cluster)
+        cluster.put("t", (7, 100, 1.0))
+        partition_id = cluster.partition_for("t", 7)
+        leader = cluster.leader_of("t", partition_id)
+        # Delay at/past the per-RPC timeout → RpcTimeoutError, suspect,
+        # failover, retry on the promoted follower.
+        faults.slow(leader.name, FAST.rpc_timeout_ms)
+        assert cluster.get_latest("t", 7)[0] == 100
+        assert obs.registry.get("ns.rpc.timeouts").value >= 1
+        assert obs.registry.get("ns.rpc.retries").value >= 1
+
+    def test_write_retries_after_leader_partition(self, schema):
+        obs = Observability(enabled=True)
+        cluster = make_cluster(schema, obs=obs)
+        faults = FaultInjector(cluster)
+        cluster.put("t", (7, 100, 1.0))
+        partition_id = cluster.partition_for("t", 7)
+        faults.partition(cluster.leader_of("t", partition_id).name)
+        cluster.put("t", (7, 200, 2.0))
+        assert cluster.get_latest("t", 7)[0] == 200
+        assert obs.registry.get("ns.rpc.retries").value >= 1
+
+    def test_all_replicas_down_is_a_hard_error(self, schema):
+        cluster = make_cluster(schema, tablets=2, partitions=1,
+                               replicas=2)
+        faults = FaultInjector(cluster)
+        cluster.put("t", (1, 100, 1.0))
+        for name in list(cluster.tablets):
+            faults.kill(name)
+        with pytest.raises(StorageError):
+            cluster.get_latest("t", 1)
+
+
+class TestRequestPathAcceptance:
+    """ISSUE acceptance: killing/partitioning the leader mid-workload
+    loses nothing, and a subsequent ``request`` succeeds with <= 1
+    retry, visible as an ``rpc.retry`` span in one stitched trace."""
+
+    @pytest.fixture
+    def deployed(self, schema):
+        obs = Observability(enabled=True)
+        cluster = make_cluster(schema, tablets=3, partitions=4,
+                               replicas=2, obs=obs)
+        for uid in range(8):
+            for k in range(5):
+                cluster.put("t", (uid, 1_000 + k * 100, float(k)))
+        cluster.deploy(
+            "feat",
+            "SELECT uid, sum(v) OVER w AS s FROM t "
+            "WINDOW w AS (PARTITION BY uid ORDER BY ts "
+            "  ROWS_RANGE BETWEEN 1000 PRECEDING AND CURRENT ROW)")
+        return cluster, obs
+
+    def test_request_survives_leader_partition_with_one_retry(
+            self, deployed):
+        cluster, obs = deployed
+        healthy = cluster.request("feat", (3, 1_500, 9.0))
+        partition_id = cluster.partition_for("t", 3)
+        leader = cluster.leader_of("t", partition_id)
+        faults = FaultInjector(cluster)
+        faults.partition(leader.name)
+        retries_before = obs.registry.get("ns.rpc.retries").value
+        degraded = cluster.request("feat", (3, 1_500, 9.0))
+        assert degraded == healthy  # zero acknowledged writes lost
+        assert obs.registry.get("ns.rpc.retries").value \
+            - retries_before <= 1
+        spans = obs.tracer.last_trace()
+        assert len({span["trace_id"] for span in spans}) == 1
+        names = [span["name"] for span in spans]
+        assert "rpc.retry" in names
+        assert "deployment.execute" in names
+        retry = next(span for span in spans
+                     if span["name"] == "rpc.retry")
+        assert retry["tags"]["error"] == "RpcTimeoutError"
+        # The promoted follower's scan is part of the same trace.
+        new_leader = cluster.leader_of("t", partition_id)
+        assert new_leader.name != leader.name
+        assert any(span["tags"].get("tablet") == new_leader.name
+                   for span in spans)
+
+    def test_request_survives_leader_crash(self, deployed):
+        cluster, obs = deployed
+        healthy = cluster.request("feat", (3, 1_500, 9.0))
+        partition_id = cluster.partition_for("t", 3)
+        FaultInjector(cluster).kill(
+            cluster.leader_of("t", partition_id).name)
+        assert cluster.request("feat", (3, 1_500, 9.0)) == healthy
+
+
+class TestDegradedReads:
+    def test_follower_serves_within_staleness_bound(self, schema):
+        obs = Observability(enabled=True)
+        cluster = make_cluster(schema, auto_failover=False, obs=obs)
+        faults = FaultInjector(cluster)
+        cluster.put("t", (7, 100, 1.0))
+        partition_id = cluster.partition_for("t", 7)
+        faults.kill(cluster.leader_of("t", partition_id).name)
+        # No failover: a plain read finds no leader at all.
+        with pytest.raises(StorageError):
+            cluster.get_latest("t", 7)
+        # Sync replication left the follower fully caught up — lag 0
+        # fits even the tightest bound.
+        hit = cluster.get_latest("t", 7, max_staleness=0)
+        assert hit[0] == 100
+        assert obs.registry.get("ns.reads.stale").value == 1
+
+    def test_too_stale_follower_is_rejected(self, schema):
+        cluster = make_cluster(schema, auto_failover=False)
+        faults = FaultInjector(cluster)
+        partition_id = cluster.partition_for("t", 7)
+        for follower in follower_names(cluster, partition_id):
+            faults.drop_replication(follower)
+        for k in range(3):
+            cluster.put("t", (7, 1_000 + k, float(k)))
+        faults.kill(cluster.leader_of("t", partition_id).name)
+        with pytest.raises(StaleReadError):
+            cluster.get_latest("t", 7, max_staleness=2)
+
+    def test_nameserver_default_bound_applies(self, schema):
+        cluster = make_cluster(schema, auto_failover=False,
+                               max_staleness=10)
+        faults = FaultInjector(cluster)
+        cluster.put("t", (7, 100, 1.0))
+        partition_id = cluster.partition_for("t", 7)
+        faults.kill(cluster.leader_of("t", partition_id).name)
+        assert cluster.get_latest("t", 7)[0] == 100
+
+
+class TestReintegration:
+    def test_revived_tablet_rejoins_as_caught_up_follower(self, schema):
+        cluster = make_cluster(schema)
+        faults = FaultInjector(cluster)
+        cluster.put("t", (7, 100, 1.0))
+        partition_id = cluster.partition_for("t", 7)
+        old_leader = cluster.leader_of("t", partition_id)
+        faults.kill(old_leader.name)
+        cluster.put("t", (7, 200, 2.0))  # failover + write while down
+        replayed = faults.revive(old_leader.name)
+        assert replayed >= 1
+        shard = old_leader.shard("t", partition_id)
+        assert not shard.is_leader  # rejoined as follower
+        binlog = cluster.tables["t"].binlogs[partition_id]
+        assert shard.applied_offset == binlog.last_offset
+        assert cluster.replication_lag(
+            "t", partition_id, old_leader.name) == 0
+
+    def test_revived_follower_receives_new_writes(self, schema):
+        cluster = make_cluster(schema)
+        faults = FaultInjector(cluster)
+        cluster.put("t", (7, 100, 1.0))
+        partition_id = cluster.partition_for("t", 7)
+        follower = follower_names(cluster, partition_id)[0]
+        faults.kill(follower)
+        cluster.put("t", (7, 200, 2.0))
+        faults.revive(follower)
+        cluster.put("t", (7, 300, 3.0))
+        assert cluster.replication_lag("t", partition_id, follower) == 0
+        shard = cluster.tablets[follower].shard("t", partition_id)
+        assert shard.store.row_count == 3

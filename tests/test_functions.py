@@ -1,6 +1,5 @@
 """Tests for the built-in aggregate and scalar functions (Table 1)."""
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st

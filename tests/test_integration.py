@@ -1,6 +1,5 @@
 """Cross-module integration tests: full pipelines through the facade."""
 
-import pytest
 
 from tests.conftest import rows_equal
 from repro import OpenMLDB, verify_consistency

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import LexError
-from repro.sql.lexer import Token, TokenType, tokenize
+from repro.sql.lexer import TokenType, tokenize
 
 
 def kinds(sql):

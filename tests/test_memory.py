@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import MemoryLimitExceededError, SchemaError
-from repro.memory.estimator import (EngineChoice, IndexProfile,
+from repro.memory.estimator import (IndexProfile,
                                     TableProfile, estimate_table_bytes,
                                     estimate_total_bytes, recommend_engine)
 from repro.memory.governor import MemoryGovernor

@@ -158,3 +158,38 @@ class TestNormalizeTs:
     def test_bad_type_raises(self):
         with pytest.raises(Exception):
             normalize_ts("noon")
+
+    def test_naive_datetime_is_utc_regardless_of_local_tz(self):
+        """Regression: a naive datetime used to go through the *local*
+        timezone, so the same dataset bucketed differently per machine
+        (train/serve skew).  Pin TZ to three zones and demand the same
+        milliseconds — the UTC epoch — from all of them."""
+        import datetime
+        import os
+        import time
+        naive = datetime.datetime(2024, 1, 1, 12, 0, 0)
+        expected = int(naive.replace(
+            tzinfo=datetime.timezone.utc).timestamp() * 1000)
+        original = os.environ.get("TZ")
+        results = {}
+        try:
+            for zone in ("UTC", "America/New_York", "Asia/Tokyo"):
+                os.environ["TZ"] = zone
+                time.tzset()
+                results[zone] = normalize_ts(naive)
+        finally:
+            if original is None:
+                os.environ.pop("TZ", None)
+            else:
+                os.environ["TZ"] = original
+            time.tzset()
+        assert all(value == expected for value in results.values()), \
+            results
+
+    def test_aware_datetime_honors_its_own_offset(self):
+        import datetime
+        tokyo = datetime.timezone(datetime.timedelta(hours=9))
+        moment = datetime.datetime(2024, 1, 1, 9, 0, tzinfo=tokyo)
+        midnight_utc = datetime.datetime(
+            2024, 1, 1, 0, 0, tzinfo=datetime.timezone.utc)
+        assert normalize_ts(moment) == normalize_ts(midnight_utc)

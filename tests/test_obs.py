@@ -363,8 +363,13 @@ class TestClusterStitching:
         writes = sum(
             obs.registry.get("tablet.rpc.writes", tablet=f"tablet-{i}")
             .value for i in range(2))
-        # 8 uids × (5 events + 1 profile) rows × 2 replicas
-        assert writes == 8 * 6 * 2
+        replicated = sum(
+            obs.registry.get("tablet.rpc.replicated", tablet=f"tablet-{i}")
+            .value for i in range(2))
+        # 8 uids × (5 events + 1 profile) rows: one leader write plus one
+        # replicated follower apply each.
+        assert writes == 8 * 6
+        assert replicated == 8 * 6
         assert obs.registry.get("ns.requests").value == 1
 
     def test_failover_counter(self, cluster):

@@ -10,7 +10,6 @@ independent of any engine optimisation.
 
 from __future__ import annotations
 
-import math
 from typing import List, Optional, Tuple
 
 import pytest

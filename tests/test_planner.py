@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import PlanError
 from repro.schema import Schema
-from repro.sql import ast
 from repro.sql.parser import parse_select
 from repro.sql.planner import build_plan
 
@@ -214,3 +213,26 @@ class TestPlanTree:
         # Serial shape: each line deeper than the previous.
         lines = rendered.splitlines()
         assert len(lines) == 5
+
+
+class TestAggregateRegistryErrors:
+    def test_unknown_aggregate_is_a_plan_error(self, catalog):
+        with pytest.raises(PlanError, match="unknown aggregate"):
+            plan_sql(
+                "SELECT nosuch(v) OVER w AS s FROM t WINDOW w AS "
+                "(PARTITION BY key ORDER BY ts "
+                "ROWS BETWEEN 1 PRECEDING AND CURRENT ROW)", catalog)
+
+    def test_registry_bugs_are_not_masked_as_unknown(self, catalog,
+                                                     monkeypatch):
+        """A broken registry (any non-CompileError) must propagate —
+        the planner only translates the unknown-name signal."""
+        def broken(name):
+            raise RuntimeError("registry exploded")
+
+        monkeypatch.setattr("repro.sql.functions.aggregate_arity", broken)
+        with pytest.raises(RuntimeError, match="registry exploded"):
+            plan_sql(
+                "SELECT sum(v) OVER w AS s FROM t WINDOW w AS "
+                "(PARTITION BY key ORDER BY ts "
+                "ROWS BETWEEN 1 PRECEDING AND CURRENT ROW)", catalog)

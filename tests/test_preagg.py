@@ -46,6 +46,14 @@ class TestParseLongWindows:
         with pytest.raises(DeploymentError):
             parse_long_windows(bad)
 
+    @pytest.mark.parametrize("bad", ["w1:0h", "w1:-5m", "w1:0s",
+                                     "w1:-1d"])
+    def test_non_positive_bucket_count_rejected(self, bad):
+        # A zero/negative count makes bucket_ms <= 0, which would
+        # divide-by-zero in every bucket index computation downstream.
+        with pytest.raises(DeploymentError):
+            parse_long_windows(bad)
+
 
 class TestAbsorbAndQuery:
     def test_exact_aligned_query(self):

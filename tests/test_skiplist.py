@@ -2,7 +2,6 @@
 
 import threading
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.schema import TTLKind, TTLSpec

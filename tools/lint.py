@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""Stdlib fallback linter for `make lint` when ruff is unavailable.
+
+The repo is dependency-free at runtime and the dev image may not ship
+ruff; this keeps the lint gate meaningful everywhere.  It covers the
+subset of the configured ruff rules that an ``ast`` walk can check
+reliably:
+
+* **F401** — imported name never used (skipped in ``__init__.py``,
+  where re-exports are the point; ``__all__`` members and
+  ``import x as x`` re-export forms count as used).
+* **E722** — bare ``except:``.
+* **E711/E712** — comparison to ``None`` / ``True`` / ``False`` with
+  ``==`` or ``!=``.
+
+Usage: ``python tools/lint.py PATH [PATH ...]`` — paths are files or
+directories (searched recursively for ``*.py``).  Exits non-zero when
+findings exist, printing ``path:line:col CODE message`` per finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+from typing import Iterator, List, Set, Tuple
+
+Finding = Tuple[str, int, int, str, str]
+
+
+def iter_python_files(paths: List[str]) -> Iterator[pathlib.Path]:
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+class _NameCollector(ast.NodeVisitor):
+    """Collects every identifier *referenced* (not bound by an import)."""
+
+    def __init__(self) -> None:
+        self.used: Set[str] = set()
+
+    def visit_Import(self, node: ast.Import) -> None:
+        pass  # binding, not a use
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        pass
+
+    def visit_Name(self, node: ast.Name) -> None:
+        self.used.add(node.id)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # `os.path.join` uses the root name `os`.
+        self.generic_visit(node)
+
+
+def _exported_names(tree: ast.Module) -> Set[str]:
+    """Names listed in a module-level ``__all__`` literal."""
+    exported: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets
+                       if isinstance(t, ast.Name)]
+            if "__all__" in targets and isinstance(
+                    node.value, (ast.List, ast.Tuple)):
+                for element in node.value.elts:
+                    if isinstance(element, ast.Constant) \
+                            and isinstance(element.value, str):
+                        exported.add(element.value)
+    return exported
+
+
+def _is_type_checking_guard(node: ast.stmt) -> bool:
+    """``if TYPE_CHECKING:`` / ``if typing.TYPE_CHECKING:`` blocks hold
+    imports used only in annotations — not runtime-unused."""
+    if not isinstance(node, ast.If):
+        return False
+    test = node.test
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    return isinstance(test, ast.Attribute) \
+        and test.attr == "TYPE_CHECKING"
+
+
+def check_unused_imports(path: pathlib.Path,
+                         tree: ast.Module) -> Iterator[Finding]:
+    if path.name == "__init__.py":
+        return  # re-export modules: unused-looking imports are the API
+    collector = _NameCollector()
+    collector.visit(tree)
+    exported = _exported_names(tree)
+    guarded: Set[ast.AST] = set()
+    for node in ast.walk(tree):
+        if _is_type_checking_guard(node):
+            for child in ast.walk(node):
+                guarded.add(child)
+    for node in ast.walk(tree):
+        if node in guarded:
+            continue
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                if bound not in collector.used and bound not in exported:
+                    yield (str(path), node.lineno, node.col_offset + 1,
+                           "F401", f"{alias.name!r} imported but unused")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                if alias.asname == alias.name:
+                    continue  # explicit re-export form
+                bound = alias.asname or alias.name
+                if bound not in collector.used and bound not in exported:
+                    yield (str(path), node.lineno, node.col_offset + 1,
+                           "F401", f"{alias.name!r} imported but unused")
+
+
+def check_bare_except(path: pathlib.Path,
+                      tree: ast.Module) -> Iterator[Finding]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield (str(path), node.lineno, node.col_offset + 1,
+                   "E722", "do not use bare 'except'")
+
+
+_SINGLETONS = {None: "None", True: "True", False: "False"}
+
+
+def check_singleton_compare(path: pathlib.Path,
+                            tree: ast.Module) -> Iterator[Finding]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        for op, comparand in zip(node.ops, node.comparators):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for side in (node.left, comparand):
+                if isinstance(side, ast.Constant) \
+                        and side.value is None:
+                    yield (str(path), node.lineno, node.col_offset + 1,
+                           "E711", "comparison to None should be "
+                           "'is None' / 'is not None'")
+                    break
+                if isinstance(side, ast.Constant) \
+                        and side.value in (True, False) \
+                        and isinstance(side.value, bool):
+                    yield (str(path), node.lineno, node.col_offset + 1,
+                           "E712", f"comparison to {side.value} should "
+                           "use 'is' or a truth test")
+                    break
+
+
+def lint(paths: List[str]) -> List[Finding]:
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"),
+                             filename=str(path))
+        except SyntaxError as exc:
+            findings.append((str(path), exc.lineno or 0, exc.offset or 0,
+                             "E999", f"syntax error: {exc.msg}"))
+            continue
+        for checker in (check_unused_imports, check_bare_except,
+                        check_singleton_compare):
+            findings.extend(checker(path, tree))
+    return findings
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print("usage: lint.py PATH [PATH ...]", file=sys.stderr)
+        return 2
+    findings = sorted(lint(argv))
+    for path, line, col, code, message in findings:
+        print(f"{path}:{line}:{col} {code} {message}")
+    if findings:
+        print(f"{len(findings)} finding(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
