@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint verify verify-docs bench examples
+.PHONY: test lint verify verify-docs bench bench-smoke examples
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -16,7 +16,7 @@ lint:
 		$(PYTHON) tools/lint.py src tests benchmarks; \
 	fi
 
-verify: lint test
+verify: lint test bench-smoke
 
 # Extract and execute every fenced python block in README.md and
 # docs/*.md — documentation code must actually run.
@@ -25,6 +25,11 @@ verify-docs:
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q
+
+# One quick benchmark as a smoke gate: catches a serving-path
+# regression (or a broken benchmark harness) without the full sweep.
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/test_fig_serving_throughput.py -q
 
 examples:
 	for script in examples/*.py; do $(PYTHON) $$script || exit 1; done

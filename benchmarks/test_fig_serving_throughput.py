@@ -1,0 +1,180 @@
+"""Serving frontend — throughput and graceful degradation.
+
+Two closed-loop scenarios over the simulated cluster:
+
+1. **Hot-key herd throughput.**  16 clients cycle 4 hot request rows
+   (the thundering-herd shape of production feature serving: many
+   concurrent lookups for the same entity).  Direct serial requests
+   execute every window scan; the micro-batching frontend collapses
+   identical concurrent requests (single-flight) and shares window
+   scans inside each batch — it must clear **≥2×** the serial
+   throughput.
+
+2. **Load shedding vs unbounded queueing.**  A slow cluster (injected
+   per-RPC delay) saturates a 1-worker frontend.  The bounded frontend
+   sheds the excess with typed ``OverloadError`` and keeps admitted-
+   request p99 below the unbounded frontend, where every request
+   queues and the tail absorbs the whole backlog — the paper's
+   tail-latency story applied to the request path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.bench import LatencyStats
+from repro.cluster import FaultInjector, NameServer, TabletServer
+from repro.errors import OverloadError
+from repro.obs import Observability
+from repro.schema import IndexDef, Schema
+from repro.serving import FrontendServer
+
+CLIENTS = 16
+HOT_ROWS = 4
+ANCHOR_TS = 10_000
+
+FEATURE_SQL = (
+    "SELECT uid, sum(v) OVER w AS s, count(v) OVER w AS c FROM t "
+    "WINDOW w AS (PARTITION BY uid ORDER BY ts "
+    "ROWS_RANGE BETWEEN 10000 PRECEDING AND CURRENT ROW)")
+
+
+@pytest.fixture(scope="module")
+def serving_cluster():
+    obs = Observability(enabled=True)
+    schema = Schema.from_pairs([
+        ("uid", "int"), ("ts", "timestamp"), ("v", "double")])
+    cluster = NameServer([TabletServer(f"tablet-{i}") for i in range(3)],
+                         obs=obs)
+    cluster.create_table("t", schema, [IndexDef(("uid",), "ts")],
+                         partitions=2, replicas=2)
+    for uid in range(HOT_ROWS):
+        for k in range(600):
+            cluster.put("t", (uid, 1_000 + k, float(k % 10)))
+    cluster.deploy("feat", FEATURE_SQL)
+    yield cluster, obs
+    cluster.close()
+
+
+def closed_loop(clients, iters, call):
+    """Run ``call(cid, i)`` from ``clients`` closed-loop threads.
+
+    Returns (wall_seconds, per-request latency seconds, errors).
+    """
+    started = threading.Barrier(clients)
+    latencies, errors = [], []
+    lock = threading.Lock()
+
+    def run(cid):
+        started.wait()
+        for i in range(iters):
+            begin = time.perf_counter()
+            try:
+                call(cid, i)
+            except Exception as exc:
+                with lock:
+                    errors.append(exc)
+                continue
+            with lock:
+                latencies.append(time.perf_counter() - begin)
+
+    threads = [threading.Thread(target=run, args=(cid,))
+               for cid in range(clients)]
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    return time.perf_counter() - wall_start, latencies, errors
+
+
+@pytest.mark.benchmark(group="fig_serving")
+def test_batched_frontend_beats_serial_throughput(benchmark,
+                                                  serving_cluster):
+    cluster, obs = serving_cluster
+    iters = 12
+    rows = [(uid, ANCHOR_TS, 0.0) for uid in range(HOT_ROWS)]
+
+    # Serial baseline: every client calls the cluster directly; every
+    # request executes its own window scans.
+    serial_wall, _, serial_errors = closed_loop(
+        CLIENTS, iters,
+        lambda cid, i: cluster.request("feat", rows[i % HOT_ROWS]))
+    assert not serial_errors
+
+    with FrontendServer(cluster, obs=obs, max_queue=256, workers=2,
+                        max_batch=8, max_wait_ms=1.0) as frontend:
+        front_wall, _, front_errors = closed_loop(
+            CLIENTS, iters,
+            lambda cid, i: frontend.request("feat", rows[i % HOT_ROWS]))
+    assert not front_errors
+
+    total = CLIENTS * iters
+    serial_qps = total / serial_wall
+    front_qps = total / front_wall
+    deduped = obs.registry.get("serving.dedup").value
+    print(f"\nserving throughput: serial {serial_qps:,.0f} req/s, "
+          f"frontend {front_qps:,.0f} req/s "
+          f"({front_qps / serial_qps:.1f}x, {deduped} deduped)")
+
+    # The herd collapses: most requests ride an in-flight twin.
+    assert deduped > 0
+    assert front_qps >= 2.0 * serial_qps
+
+    benchmark.extra_info["serial_qps"] = serial_qps
+    benchmark.extra_info["frontend_qps"] = front_qps
+    benchmark.extra_info["speedup"] = front_qps / serial_qps
+    benchmark.pedantic(cluster.request, args=("feat", rows[0]),
+                       rounds=10, iterations=1)
+
+
+@pytest.mark.benchmark(group="fig_serving")
+def test_shedding_bounds_tail_latency(benchmark, serving_cluster):
+    cluster, obs = serving_cluster
+    iters = 6
+    faults = FaultInjector(cluster)
+    for name in list(cluster.tablets):
+        faults.slow(name, delay_ms=5.0)
+    try:
+        def run(max_queue, max_inflight):
+            with FrontendServer(cluster, obs=obs, max_queue=max_queue,
+                                max_inflight=max_inflight, workers=1,
+                                max_batch=4, max_wait_ms=0,
+                                single_flight=False) as frontend:
+                # Unique rows: no dedup — pure queueing behaviour.
+                _, latencies, errors = closed_loop(
+                    CLIENTS, iters,
+                    lambda cid, i: frontend.request(
+                        "feat", (cid % HOT_ROWS,
+                                 ANCHOR_TS + cid * 100 + i, 0.0)))
+            return latencies, errors
+
+        queued_lat, queued_errors = run(max_queue=4_096,
+                                        max_inflight=None)
+        shed_lat, shed_errors = run(max_queue=4, max_inflight=8)
+    finally:
+        faults.heal()
+
+    # Unbounded: everything is admitted, the tail absorbs the backlog.
+    assert not queued_errors
+    queued_p99 = LatencyStats.from_seconds(queued_lat).tp99
+
+    # Bounded: the excess sheds typed; admitted requests stay fast.
+    assert shed_errors and all(isinstance(e, OverloadError)
+                               for e in shed_errors)
+    assert len(shed_lat) + len(shed_errors) == CLIENTS * iters
+    shed_p99 = LatencyStats.from_seconds(shed_lat).tp99
+
+    print(f"\nserving tail under overload: unbounded p99 "
+          f"{queued_p99:.1f} ms, bounded p99 {shed_p99:.1f} ms, "
+          f"{len(shed_errors)} shed")
+    assert shed_p99 < queued_p99
+
+    benchmark.extra_info["unbounded_p99_ms"] = queued_p99
+    benchmark.extra_info["bounded_p99_ms"] = shed_p99
+    benchmark.extra_info["shed"] = len(shed_errors)
+    benchmark.pedantic(cluster.request, args=("feat", (0, ANCHOR_TS, 0.0)),
+                       rounds=5, iterations=1)

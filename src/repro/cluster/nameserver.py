@@ -34,12 +34,15 @@ import threading
 import time
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..errors import (IndexNotFoundError, RpcTimeoutError, StaleReadError,
+from ..errors import (DeadlineExceededError, IndexNotFoundError,
+                      MemoryLimitExceededError, OpenMLDBError,
+                      RpcTimeoutError, SchemaError, StaleReadError,
                       StorageError)
 from ..obs import NULL_OBS, Observability
 from ..online.binlog import BinlogEntry, Replicator
 from ..online.engine import OnlineEngine
 from ..schema import IndexDef, Row, Schema
+from ..serving.deadline import Deadline, current_deadline, deadline_scope
 from ..sql import ast
 from ..sql.compiler import CompilationCache, CompiledQuery
 from ..sql.parser import parse
@@ -240,6 +243,7 @@ class NameServer:
         self._deployments: Dict[str, CompiledQuery] = {}
         self._compile_cache = CompilationCache(obs=self._obs)
         self._engine = OnlineEngine(self._views, obs=self._obs)
+        self._closed = False
 
     def attach_faults(self, injector: Any) -> None:
         """Wire a :class:`FaultInjector` into every RPC and replication
@@ -386,6 +390,7 @@ class NameServer:
         binlog-worker-driven ("async").  A dead or unreachable leader is
         failed over and the write retried under the retry policy.
         """
+        self._check_open()
         table = self._table(table_name)
         self._m_puts.inc()
         column = key_column or table.indexes[0].key_columns[0]
@@ -475,7 +480,10 @@ class NameServer:
                                          missed.row, missed.offset)
                 tablet.replicate(table.name, partition_id, entry.row,
                                  entry.offset)
-            except Exception:
+            except (StorageError, MemoryLimitExceededError):
+                # Only delivery failures (dead/partitioned/slow tablet,
+                # replication gap, follower past its memory limit)
+                # become lag; programming errors propagate.
                 self._m_repl_errors.inc()
             gauge.set(binlog.last_offset - shard.applied_offset)
 
@@ -490,19 +498,34 @@ class NameServer:
         the most caught-up live follower if its lag fits the staleness
         bound.  A retry is visible in the active trace as an
         ``rpc.retry`` span.
+
+        An ambient request deadline (installed by the serving frontend,
+        see :mod:`repro.serving.deadline`) clamps every per-RPC timeout
+        to the remaining budget and stops the retry loop the moment the
+        budget is spent — a request never retries past its own
+        deadline.
         """
         policy = self.retry_policy
+        deadline = current_deadline()
         bound = max_staleness if max_staleness is not None \
             else self.max_staleness
         last_error: Optional[Exception] = None
         for attempt in range(policy.attempts + 1):
             if attempt:
                 self._m_retries.inc()
+                backoff_ms = policy.backoff_ms(attempt)
+                if deadline is not None:
+                    backoff_ms = deadline.clamp_ms(backoff_ms)
                 with self._obs.tracer.span(
                         "rpc.retry", table=table_name,
                         partition=partition_id, attempt=attempt,
                         error=type(last_error).__name__):
-                    time.sleep(policy.backoff_ms(attempt) / 1_000.0)
+                    time.sleep(backoff_ms / 1_000.0)
+            if deadline is not None and deadline.expired:
+                raise DeadlineExceededError(
+                    f"read on {table_name}[{partition_id}] ran out of "
+                    f"deadline budget after {attempt} attempt(s)"
+                ) from last_error
             try:
                 tablet = self.route_to_leader(table_name, partition_id)
             except StorageError as exc:
@@ -512,11 +535,21 @@ class NameServer:
                 if stale is None:
                     continue
                 tablet = stale
+            timeout_ms = policy.rpc_timeout_ms
+            if deadline is not None:
+                timeout_ms = deadline.clamp_ms(timeout_ms)
             try:
-                return call(tablet, policy.rpc_timeout_ms)
+                return call(tablet, timeout_ms)
             except RpcTimeoutError as exc:
                 self._m_timeouts.inc()
                 last_error = exc
+                if deadline is not None \
+                        and timeout_ms < policy.rpc_timeout_ms:
+                    # The deadline, not the tablet, cut this call short:
+                    # don't declare the tablet dead for it.
+                    raise DeadlineExceededError(
+                        f"read on {table_name}[{partition_id}] exceeded "
+                        f"its deadline budget mid-RPC") from exc
                 self._suspect(tablet.name)
             except StorageError as exc:
                 last_error = exc
@@ -636,8 +669,10 @@ class NameServer:
                         try:
                             replayed_total += catch_up(
                                 best, table.name, partition_id, binlog)
-                        except Exception:
-                            # Candidate died mid-replay: elect the next.
+                        except (StorageError, MemoryLimitExceededError):
+                            # Candidate died (or cannot absorb the
+                            # suffix) mid-replay: elect the next.
+                            # Programming errors propagate.
                             candidates = [c for c in candidates
                                           if c is not best]
                             continue
@@ -694,7 +729,8 @@ class NameServer:
         self._deployments[name] = compiled
         return compiled
 
-    def request(self, name: str, row: Sequence[Any]) -> Dict[str, Any]:
+    def request(self, name: str, row: Sequence[Any],
+                timeout_ms: Optional[float] = None) -> Dict[str, Any]:
         """Execute one request tuple through a cluster deployment.
 
         The nameserver acts as the request frontend: it opens the
@@ -704,23 +740,119 @@ class NameServer:
         across tablet servers.  Tablet failures mid-request surface as
         ``rpc.retry`` spans and re-routed calls, not request errors,
         as long as a failover candidate exists.
+
+        ``timeout_ms`` gives the request a deadline budget: routed RPC
+        timeouts are clamped to what is left of it and the request
+        fails with :class:`~repro.errors.DeadlineExceededError` instead
+        of retrying past it.  Without it, any ambient deadline (e.g.
+        installed by a :class:`~repro.serving.FrontendServer` worker)
+        applies.
         """
+        self._check_open()
         try:
             compiled = self._deployments[name]
         except KeyError:
             raise StorageError(f"unknown deployment {name!r}") from None
         self._m_requests.inc()
+        deadline = Deadline.after(timeout_ms) \
+            if timeout_ms is not None else None
         start = time.perf_counter()
-        with self._obs.tracer.span("deployment.execute", deployment=name,
-                                   frontend="nameserver"):
-            features = self._engine.execute_request(compiled, row)
+        with deadline_scope(deadline):
+            with self._obs.tracer.span("deployment.execute",
+                                       deployment=name,
+                                       frontend="nameserver"):
+                features = self._engine.execute_request(compiled, row)
         self._h_request.observe((time.perf_counter() - start) * 1_000)
         return dict(zip(compiled.output_names, features))
 
+    def request_batch(self, name: str, rows: Sequence[Sequence[Any]],
+                      deadlines: Optional[Sequence[Any]] = None
+                      ) -> List[Any]:
+        """Execute a micro-batch of request tuples for one deployment.
+
+        The batch path of the serving frontend: all rows run under one
+        ``deployment.execute_batch`` span and share a per-batch window
+        scan cache, so requests that resolve to the same (partition
+        key, anchor ts) scan fetch rows once (hot keys under herd
+        traffic).  Callers should order ``rows`` by partition (see
+        :meth:`request_partition`) so consecutive requests route to the
+        same partition leader.
+
+        Per-row failures do not poison the batch: the returned list is
+        parallel to ``rows`` and each element is either the feature
+        dict or the :class:`~repro.errors.OpenMLDBError` that request
+        raised.  Programming errors propagate.
+
+        Args:
+            name: deployment name.
+            rows: request tuples.
+            deadlines: optional parallel list of per-row
+                :class:`~repro.serving.Deadline` budgets (None entries
+                mean no deadline).
+        """
+        self._check_open()
+        try:
+            compiled = self._deployments[name]
+        except KeyError:
+            raise StorageError(f"unknown deployment {name!r}") from None
+        outcomes: List[Any] = []
+        shared: Dict[Any, Any] = {}
+        with self._obs.tracer.span("deployment.execute_batch",
+                                   deployment=name, batch=len(rows)):
+            for index, row in enumerate(rows):
+                self._m_requests.inc()
+                deadline = deadlines[index] if deadlines else None
+                start = time.perf_counter()
+                try:
+                    with deadline_scope(deadline):
+                        with self._obs.tracer.span(
+                                "deployment.execute", deployment=name,
+                                frontend="serving.batch"):
+                            features = self._engine.execute_request(
+                                compiled, row, shared_fetch=shared)
+                    outcome: Any = dict(zip(compiled.output_names,
+                                            features))
+                except OpenMLDBError as exc:
+                    outcome = exc
+                self._h_request.observe(
+                    (time.perf_counter() - start) * 1_000)
+                outcomes.append(outcome)
+        return outcomes
+
+    def request_partition(self, name: str,
+                          row: Sequence[Any]) -> Optional[int]:
+        """Partition hint for micro-batch grouping.
+
+        The partition the request row's primary-table key routes to, or
+        None when it cannot be derived (unknown deployment, short row).
+        The serving frontend sorts each batch by this so storage reads
+        group by partition leader.
+        """
+        compiled = self._deployments.get(name)
+        if compiled is None:
+            return None
+        table = self.tables.get(compiled.plan.table)
+        if table is None:
+            return None
+        column = table.indexes[0].key_columns[0]
+        try:
+            key_value = row[table.schema.position(column)]
+        except (IndexError, KeyError, SchemaError):
+            return None
+        return self.partition_for(table.name, key_value)
+
     # ------------------------------------------------------------------
 
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError("cluster closed")
+
     def close(self) -> None:
-        """Stop every partition binlog's worker thread."""
+        """Stop every partition binlog's worker thread.  Idempotent;
+        ``put``/``request`` after close raise ``StorageError``."""
+        if self._closed:
+            return
+        self._closed = True
         for table in self.tables.values():
             for binlog in table.binlogs.values():
                 binlog.close()

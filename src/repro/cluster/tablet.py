@@ -25,10 +25,11 @@ import dataclasses
 import threading
 from typing import Any, Dict, Iterator, Optional, Sequence, Tuple
 
-from ..errors import StorageError
+from ..errors import DeadlineExceededError, StorageError
 from ..memory.governor import MemoryGovernor
 from ..obs import NULL_OBS, Observability
 from ..schema import IndexDef, Row, Schema
+from ..serving.deadline import current_deadline
 from ..storage.memtable import MemTable
 
 __all__ = ["Shard", "TabletServer"]
@@ -87,11 +88,23 @@ class TabletServer:
     def _check_serving(self, timeout_ms: Optional[float] = None) -> None:
         """Reject the call if this tablet is down, partitioned, or slow.
 
+        The guard is deadline-aware: an RPC whose ambient request
+        deadline (see :mod:`repro.serving.deadline`) already expired is
+        rejected before any work — a server should not spend cycles on
+        an answer the caller stopped waiting for.
+
         Raises:
+            DeadlineExceededError: the request's deadline budget ran
+                out before this RPC was dispatched.
             StorageError: the tablet crashed (is not ``alive``).
             RpcTimeoutError: an injected partition/slow fault exceeds the
                 caller's per-RPC timeout.
         """
+        deadline = current_deadline()
+        if deadline is not None and deadline.expired:
+            raise DeadlineExceededError(
+                f"{self.name}: request deadline expired before RPC "
+                f"dispatch")
         if not self.alive:
             raise StorageError(f"{self.name} is down")
         if self.faults is not None:

@@ -118,3 +118,40 @@ class MemoryLimitExceededError(OpenMLDBError):
 
 class ConsistencyError(OpenMLDBError):
     """Raised when online and offline feature results diverge."""
+
+
+class ServingError(OpenMLDBError):
+    """Base class for request-path serving-frontend errors.
+
+    Deliberately *not* a :class:`StorageError`: the cluster's retry layer
+    treats storage errors as tablet failures (suspect + re-route), while
+    serving errors describe the request's own lifecycle — shed by
+    admission control or out of deadline budget — and must surface to
+    the caller immediately instead of triggering failover.
+    """
+
+
+class OverloadError(ServingError):
+    """Raised when admission control sheds a request (Section 8.2's
+    graceful-degradation contract applied to the request path).
+
+    A shed request was never executed; the caller may retry later or
+    degrade.  ``reason`` says which bound rejected it: ``"queue_full"``,
+    ``"evicted"`` (bumped by a higher-priority arrival), ``"inflight"``
+    (concurrency limiter), or ``"draining"``/``"closed"``.
+    """
+
+    def __init__(self, message: str, deployment: str = "",
+                 reason: str = "queue_full") -> None:
+        super().__init__(message)
+        self.deployment = deployment
+        self.reason = reason
+
+
+class DeadlineExceededError(ServingError):
+    """Raised when a request's deadline budget is exhausted.
+
+    The deadline propagates from the serving frontend down into every
+    routed RPC's per-call timeout, so a request never retries past its
+    own budget — it fails here instead of holding a worker hostage.
+    """

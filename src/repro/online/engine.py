@@ -28,6 +28,7 @@ from typing import (Any, Dict, Iterator, List, Mapping, Optional, Sequence,
 from ..errors import ExecutionError
 from ..obs import NULL_OBS, Observability
 from ..schema import Row
+from ..serving.deadline import current_deadline
 from ..sql.compiler import CompiledJoin, CompiledQuery, CompiledWindow
 from ..storage.memtable import normalize_ts
 from .preagg import PreAggregator
@@ -44,6 +45,7 @@ class EngineStats:
     preagg_bucket_merges: int = 0
     preagg_raw_rows: int = 0
     join_lookups: int = 0
+    shared_scan_hits: int = 0
 
 
 class OnlineEngine:
@@ -69,12 +71,15 @@ class OnlineEngine:
         self._m_preagg_merges = registry.counter(
             "online.preagg.bucket_merges")
         self._m_preagg_raw = registry.counter("online.preagg.raw_rows")
+        self._m_shared_scans = registry.counter(
+            "online.batch.shared_scans")
 
     # ------------------------------------------------------------------
 
     def execute_request(
             self, compiled: CompiledQuery, request_row: Sequence[Any],
-            preagg: Optional[Mapping[str, Mapping[int, PreAggregator]]] = None
+            preagg: Optional[Mapping[str, Mapping[int, PreAggregator]]] = None,
+            shared_fetch: Optional[Dict[Any, List[Tuple[int, Row]]]] = None
     ) -> Row:
         """Run one request tuple through a compiled deployment.
 
@@ -84,13 +89,22 @@ class OnlineEngine:
             preagg: window name → {aggregate slot → PreAggregator}; slots
                 present here are answered from pre-aggregation, the rest
                 from raw window scans.
+            shared_fetch: micro-batching hook — a dict shared across the
+                requests of one batch; window scans that resolve to the
+                same (window, partition key, anchor ts) are fetched once
+                and reused (hot keys under herd traffic).
 
         Returns:
             The projected feature row.
+
+        Raises:
+            DeadlineExceededError: the ambient request deadline (see
+                :mod:`repro.serving.deadline`) ran out mid-plan.
         """
         if self._obs.enabled:
             return self._execute_request_traced(compiled, request_row,
-                                                preagg)
+                                                preagg, shared_fetch)
+        deadline = current_deadline()
         plan = compiled.plan
         validated = plan.table_schema.validate_row(request_row)
         self.stats.requests += 1
@@ -117,6 +131,8 @@ class OnlineEngine:
         for name, window in compiled.windows.items():
             if not window.aggregates:
                 continue
+            if deadline is not None:
+                deadline.check("request")
             canonical = compiled.merged_windows.get(name, name)
             preagg_slots = dict(preagg.get(name, {})) if preagg else {}
             raw_aggregates = [compiled_agg for compiled_agg
@@ -125,7 +141,8 @@ class OnlineEngine:
             if raw_aggregates or not preagg_slots:
                 if canonical not in fetched:
                     fetched[canonical] = self._window_rows(
-                        compiled, window, validated)
+                        compiled, window, validated, shared_fetch,
+                        canonical)
                 rows = fetched[canonical]
                 results = window.compute(rows)
                 for slot, value in results.items():
@@ -142,7 +159,8 @@ class OnlineEngine:
 
     def _execute_request_traced(
             self, compiled: CompiledQuery, request_row: Sequence[Any],
-            preagg: Optional[Mapping[str, Mapping[int, PreAggregator]]]
+            preagg: Optional[Mapping[str, Mapping[int, PreAggregator]]],
+            shared_fetch: Optional[Dict[Any, List[Tuple[int, Row]]]] = None
     ) -> Row:
         """:meth:`execute_request` with per-stage spans and metrics.
 
@@ -151,6 +169,7 @@ class OnlineEngine:
         the request latency the paper's Figure 6 measures.
         """
         tracer = self._obs.tracer
+        deadline = current_deadline()
         plan = compiled.plan
         validated = plan.table_schema.validate_row(request_row)
         self.stats.requests += 1
@@ -178,6 +197,8 @@ class OnlineEngine:
         for name, window in compiled.windows.items():
             if not window.aggregates:
                 continue
+            if deadline is not None:
+                deadline.check("request")
             canonical = compiled.merged_windows.get(name, name)
             preagg_slots = dict(preagg.get(name, {})) if preagg else {}
             raw_aggregates = [compiled_agg for compiled_agg
@@ -188,7 +209,8 @@ class OnlineEngine:
                     scanned_before = self.stats.rows_scanned
                     with tracer.span("window.scan", window=name) as span:
                         fetched[canonical] = self._window_rows(
-                            compiled, window, validated)
+                            compiled, window, validated, shared_fetch,
+                            canonical)
                         span.set_tag(rows=len(fetched[canonical]))
                     self._m_rows_scanned.inc(
                         self.stats.rows_scanned - scanned_before)
@@ -248,8 +270,19 @@ class OnlineEngine:
     # windows
 
     def _window_rows(self, compiled: CompiledQuery, window: CompiledWindow,
-                     request_row: Row) -> List[Row]:
-        """Fetch a window's rows (newest-first), request row included."""
+                     request_row: Row,
+                     shared: Optional[Dict[Any, List[Tuple[int, Row]]]]
+                     = None,
+                     cache_name: Optional[str] = None) -> List[Row]:
+        """Fetch a window's rows (newest-first), request row included.
+
+        With ``shared`` (one dict per micro-batch), the *stored* rows of
+        a scan are cached under ``(window, partition key, anchor ts)``
+        and reused by later requests in the batch that resolve to the
+        identical scan — the request row itself is prepended per
+        request, so requests sharing a key/timestamp but carrying
+        different payloads stay correct.
+        """
         plan = window.plan
         primary = compiled.plan.table
         key = window.partition_key(request_row)
@@ -264,20 +297,30 @@ class OnlineEngine:
             end_ts = None
             limit = None
 
-        # INSTANCE_NOT_IN_WINDOW: stored instance-table rows never enter
-        # the window — only union-table rows (the request row itself
-        # still participates unless EXCLUDE CURRENT_ROW).
-        sources = [] if plan.instance_not_in_window \
-            else [self._tables[primary]]
-        sources.extend(self._tables[union_table]
-                       for union_table in plan.union_tables)
-        iterators = [
-            source.window_scan(plan.partition_columns, plan.order_column,
-                               key, start_ts=anchor_ts, end_ts=end_ts)
-            for source in sources
-        ]
-        merged = _merge_newest_first(iterators, limit=limit)
-        self.stats.rows_scanned += len(merged)
+        cache_key = (cache_name, key, anchor_ts) \
+            if shared is not None and cache_name is not None else None
+        merged = shared.get(cache_key) if cache_key is not None else None
+        if merged is None:
+            # INSTANCE_NOT_IN_WINDOW: stored instance-table rows never
+            # enter the window — only union-table rows (the request row
+            # itself still participates unless EXCLUDE CURRENT_ROW).
+            sources = [] if plan.instance_not_in_window \
+                else [self._tables[primary]]
+            sources.extend(self._tables[union_table]
+                           for union_table in plan.union_tables)
+            iterators = [
+                source.window_scan(plan.partition_columns,
+                                   plan.order_column, key,
+                                   start_ts=anchor_ts, end_ts=end_ts)
+                for source in sources
+            ]
+            merged = _merge_newest_first(iterators, limit=limit)
+            self.stats.rows_scanned += len(merged)
+            if cache_key is not None:
+                shared[cache_key] = merged
+        else:
+            self.stats.shared_scan_hits += 1
+            self._m_shared_scans.inc()
 
         include_request = not plan.exclude_current_row
         rows: List[Row] = [request_row] if include_request else []

@@ -1,0 +1,29 @@
+"""repro.serving — the request-path serving frontend.
+
+The paper's online half is about bounded tail latency under real
+traffic (TP99 in Figures 6–7); this package supplies the request
+lifecycle machinery a production deployment puts in front of the
+engine:
+
+* :class:`FrontendServer` — the frontend itself: admission control,
+  micro-batching over a worker pool, single-flight dedup, deadline
+  propagation, graceful drain, and per-deployment SLO metrics.
+* :class:`AdmissionController` / :class:`Ticket` — bounded
+  per-deployment priority queues plus a global in-flight limiter;
+  overload sheds with :class:`~repro.errors.OverloadError`.
+* :class:`BatchPolicy` / :class:`WorkerPool` — the micro-batching
+  dispatch loop (``max_batch`` / ``max_wait_ms``).
+* :class:`Deadline`, :func:`deadline_scope`, :func:`current_deadline` —
+  ambient per-request deadlines that clamp every routed RPC timeout so
+  a request never retries past its own budget
+  (:class:`~repro.errors.DeadlineExceededError`).
+"""
+
+from .admission import AdmissionController, PRIORITIES, Ticket
+from .batcher import BatchPolicy, WorkerPool
+from .deadline import Deadline, current_deadline, deadline_scope
+from .frontend import FrontendServer
+
+__all__ = ["FrontendServer", "AdmissionController", "Ticket",
+           "PRIORITIES", "BatchPolicy", "WorkerPool", "Deadline",
+           "current_deadline", "deadline_scope"]

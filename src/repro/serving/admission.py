@@ -1,0 +1,278 @@
+"""Admission control: bounded priority queues and a concurrency limiter.
+
+The serving frontend admits every request through one
+:class:`AdmissionController`.  Admission can fail — that is the point:
+past the configured bounds the controller sheds load with a typed
+:class:`~repro.errors.OverloadError` instead of queueing without limit,
+so the latency of *admitted* requests stays bounded while the system is
+saturated (the graceful-degradation story of the paper's Section 8.2,
+applied to the request path).
+
+Three bounds, checked in order:
+
+1. **draining** — a frontend that is shutting down admits nothing new;
+2. **in-flight limit** — admitted-but-unfinished requests across all
+   deployments (the concurrency limiter);
+3. **per-deployment queue bound** — each deployment owns a bounded
+   priority queue.  A full queue sheds the newcomer, *unless* the
+   newcomer outranks the worst queued request, in which case the worst
+   one is evicted (its future fails with ``reason="evicted"``) and the
+   newcomer takes its place — high-priority traffic displaces
+   best-effort traffic rather than queueing behind it.
+
+Workers pull work with :meth:`AdmissionController.next_batch`, which
+blocks until a deployment has queued requests, then returns up to
+``max_batch`` of them (waiting at most ``max_wait_ms`` after the first
+to let a batch fill).  Deployments are served round-robin so one hot
+deployment cannot starve the rest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import OverloadError
+from ..obs import NULL_OBS, Observability
+from .deadline import Deadline
+
+__all__ = ["AdmissionController", "PRIORITIES", "Ticket"]
+
+#: Priority classes, lower rank serves first.  "high" models
+#: SLO-critical interactive traffic, "low" best-effort backfill.
+PRIORITIES: Dict[str, int] = {"high": 0, "normal": 1, "low": 2}
+
+
+@dataclasses.dataclass
+class Ticket:
+    """One admitted request travelling through the frontend."""
+
+    deployment: str
+    row: Tuple[Any, ...]
+    priority: int
+    seq: int
+    future: Any  # concurrent.futures.Future
+    deadline: Optional[Deadline] = None
+    enqueued_s: float = dataclasses.field(default_factory=time.monotonic)
+
+    @property
+    def heap_key(self) -> Tuple[int, int]:
+        return (self.priority, self.seq)
+
+
+class _DeploymentQueue:
+    """A bounded priority queue for one deployment (heap on rank, seq)."""
+
+    def __init__(self, bound: int) -> None:
+        self.bound = bound
+        self._heap: List[Tuple[Tuple[int, int], Ticket]] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def offer(self, ticket: Ticket) -> Optional[Ticket]:
+        """Admit ``ticket``, possibly evicting a worse queued one.
+
+        Returns the evicted ticket (caller sheds it), or None when the
+        queue had room.  Raises :class:`OverloadError` when the queue is
+        full and nothing queued ranks worse than the newcomer.
+        """
+        if len(self._heap) < self.bound:
+            heapq.heappush(self._heap, (ticket.heap_key, ticket))
+            return None
+        worst_index = max(range(len(self._heap)),
+                          key=lambda i: self._heap[i][0])
+        worst = self._heap[worst_index][1]
+        if ticket.priority >= worst.priority:
+            raise OverloadError(
+                f"deployment {ticket.deployment!r} queue is full "
+                f"({self.bound} queued)", deployment=ticket.deployment,
+                reason="queue_full")
+        self._heap[worst_index] = self._heap[-1]
+        self._heap.pop()
+        heapq.heapify(self._heap)
+        heapq.heappush(self._heap, (ticket.heap_key, ticket))
+        return worst
+
+    def pop_batch(self, max_batch: int) -> List[Ticket]:
+        batch = []
+        while self._heap and len(batch) < max_batch:
+            batch.append(heapq.heappop(self._heap)[1])
+        return batch
+
+
+class AdmissionController:
+    """Bounded admission with priority classes and an in-flight limit.
+
+    Args:
+        max_queue: per-deployment queued-request bound.
+        max_inflight: admitted-but-unfinished bound across deployments
+            (queued + executing); ``None`` disables the limiter.
+        obs: observability handle for queue-depth gauges and the
+            in-flight gauge.
+        on_shed: callback ``(ticket, reason)`` invoked for *queued*
+            tickets the controller evicts in favour of higher-priority
+            arrivals (the caller owns the ticket's future).
+    """
+
+    def __init__(self, max_queue: int = 64,
+                 max_inflight: Optional[int] = None,
+                 obs: Optional[Observability] = None,
+                 on_shed: Optional[Callable[[Ticket, str], None]] = None
+                 ) -> None:
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self.max_queue = max_queue
+        self.max_inflight = max_inflight
+        self._obs = obs or NULL_OBS
+        self._on_shed = on_shed
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._queues: Dict[str, _DeploymentQueue] = {}
+        self._rotation: List[str] = []
+        self._next_slot = 0
+        self._inflight = 0
+        self._draining = False
+        self._closed = False
+        self._depth_gauges: Dict[str, Any] = {}
+        self._g_inflight = self._obs.registry.gauge("serving.inflight")
+
+    # ------------------------------------------------------------------
+    # caller side
+
+    def admit(self, ticket: Ticket) -> None:
+        """Admit one request or shed it with :class:`OverloadError`."""
+        evicted: Optional[Ticket] = None
+        with self._lock:
+            if self._draining or self._closed:
+                state = "closed" if self._closed else "draining"
+                raise OverloadError(
+                    f"frontend is {state}; request shed",
+                    deployment=ticket.deployment, reason=state)
+            if self.max_inflight is not None \
+                    and self._inflight >= self.max_inflight:
+                raise OverloadError(
+                    f"in-flight limit {self.max_inflight} reached",
+                    deployment=ticket.deployment, reason="inflight")
+            queue = self._queues.get(ticket.deployment)
+            if queue is None:
+                queue = _DeploymentQueue(self.max_queue)
+                self._queues[ticket.deployment] = queue
+                self._rotation.append(ticket.deployment)
+            evicted = queue.offer(ticket)  # may raise OverloadError
+            if evicted is None:
+                self._inflight += 1
+            # An eviction swaps one queued request for another: the
+            # victim's in-flight slot transfers to the newcomer, so the
+            # count is unchanged and the worker's release on the
+            # newcomer balances the victim's admission.
+            self._depth_gauge(ticket.deployment).set(len(queue))
+            self._g_inflight.set(self._inflight)
+            self._work.notify()
+        if evicted is not None and self._on_shed is not None:
+            self._on_shed(evicted, "evicted")
+
+    def release(self, count: int = 1) -> None:
+        """Mark ``count`` admitted requests finished (worker side)."""
+        with self._lock:
+            self._inflight -= count
+            self._g_inflight.set(self._inflight)
+            if self._inflight == 0:
+                self._idle.notify_all()
+
+    # ------------------------------------------------------------------
+    # worker side
+
+    def next_batch(self, max_batch: int, max_wait_ms: float
+                   ) -> Optional[Tuple[str, List[Ticket]]]:
+        """Block until work exists; return one deployment's batch.
+
+        After the first queued request is seen, waits up to
+        ``max_wait_ms`` for the batch to fill to ``max_batch`` before
+        dispatching what is there.  Returns None once the controller is
+        closed and empty (worker shutdown signal).
+        """
+        with self._lock:
+            while True:
+                name = self._pick_deployment()
+                if name is not None:
+                    break
+                if self._closed:
+                    return None
+                self._work.wait(timeout=0.1)
+            queue = self._queues[name]
+            if len(queue) < max_batch and max_wait_ms > 0:
+                deadline_s = time.monotonic() + max_wait_ms / 1_000.0
+                while len(queue) < max_batch:
+                    remaining = deadline_s - time.monotonic()
+                    if remaining <= 0 or self._closed:
+                        break
+                    self._work.wait(timeout=remaining)
+            batch = queue.pop_batch(max_batch)
+            self._depth_gauge(name).set(len(queue))
+            return name, batch
+
+    def _pick_deployment(self) -> Optional[str]:
+        """Round-robin over deployments with queued work."""
+        if not self._rotation:
+            return None
+        for step in range(len(self._rotation)):
+            name = self._rotation[(self._next_slot + step)
+                                  % len(self._rotation)]
+            if len(self._queues[name]):
+                self._next_slot = (self._next_slot + step + 1) \
+                    % len(self._rotation)
+                return name
+        return None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def queued(self, deployment: Optional[str] = None) -> int:
+        with self._lock:
+            if deployment is not None:
+                queue = self._queues.get(deployment)
+                return len(queue) if queue is not None else 0
+            return sum(len(queue) for queue in self._queues.values())
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Stop admitting; wait for every admitted request to finish.
+
+        Returns False if in-flight work did not finish in ``timeout``
+        seconds (the frontend is left draining either way).
+        """
+        with self._lock:
+            self._draining = True
+            self._work.notify_all()
+            return self._idle.wait_for(lambda: self._inflight == 0,
+                                       timeout=timeout)
+
+    def close(self) -> None:
+        """Drain-stop: wake workers so they observe shutdown."""
+        with self._lock:
+            self._draining = True
+            self._closed = True
+            self._work.notify_all()
+
+    # ------------------------------------------------------------------
+
+    def _depth_gauge(self, deployment: str) -> Any:
+        gauge = self._depth_gauges.get(deployment)
+        if gauge is None:
+            gauge = self._obs.registry.gauge("serving.queue.depth",
+                                             deployment=deployment)
+            self._depth_gauges[deployment] = gauge
+        return gauge

@@ -1,0 +1,321 @@
+"""The serving frontend: request lifecycle ownership for online serving.
+
+:class:`FrontendServer` sits in front of a request backend — a
+:class:`~repro.cluster.NameServer` or a single-node
+:class:`~repro.OpenMLDB` — and owns everything between "a client called
+``request``" and "features came back":
+
+* **admission control** — bounded per-deployment priority queues plus a
+  global in-flight limiter; past the bounds, requests are shed with
+  :class:`~repro.errors.OverloadError` (see :mod:`repro.serving.admission`);
+* **micro-batching** — queued requests for one deployment execute as a
+  batch on a worker pool, sorted by the request row's partition so
+  storage reads group by partition leader and identical window scans
+  are shared (see :mod:`repro.serving.batcher`);
+* **deadline propagation** — a per-request ``timeout_ms`` becomes a
+  :class:`~repro.serving.deadline.Deadline` that rides the worker
+  thread into every routed RPC's timeout; a request that expires while
+  queued is dropped without executing;
+* **single-flight dedup** — identical concurrent requests (same
+  deployment, same request row: the thundering herd on a hot key)
+  compute once and fan the result out;
+* **graceful drain** — :meth:`drain` stops admissions and waits for
+  every admitted request to finish; :meth:`close` then stops the
+  workers.  Both are idempotent.
+
+Every stage is visible through the observability layer (queue-depth
+gauges, shed/dedup counters, batch-size and latency histograms — see
+docs/observability.md for the serving metric table).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import DeadlineExceededError, OverloadError
+from ..obs import NULL_OBS, Observability
+from .admission import PRIORITIES, AdmissionController, Ticket
+from .batcher import BatchPolicy, WorkerPool
+from .deadline import Deadline, deadline_scope
+
+__all__ = ["FrontendServer"]
+
+
+class FrontendServer:
+    """Admission-controlled, micro-batching request frontend.
+
+    Args:
+        backend: anything with ``request(name, row) -> dict``.  If it
+            also offers ``request_batch(name, rows, deadlines=None)``
+            (the :class:`~repro.cluster.NameServer` does), batches
+            execute through it — sharing window scans across the batch;
+            otherwise the frontend falls back to per-row execution.
+            An optional ``request_partition(name, row)`` hint lets the
+            frontend group each batch by partition.
+        obs: observability handle (share the backend's to get one
+            registry across frontend and cluster).
+        max_queue: per-deployment queued-request bound (admission).
+        max_inflight: global bound on admitted-but-unfinished requests;
+            defaults to ``4 * max_queue``.
+        workers: worker-thread count — the execution concurrency limit.
+        max_batch / max_wait_ms: micro-batching knobs (see
+            :class:`~repro.serving.batcher.BatchPolicy`).
+        default_timeout_ms: deadline applied when a request does not
+            bring its own; ``None`` means no deadline by default.
+        single_flight: collapse identical concurrent requests.
+    """
+
+    def __init__(self, backend: Any,
+                 obs: Optional[Observability] = None, *,
+                 max_queue: int = 64,
+                 max_inflight: Optional[int] = None,
+                 workers: int = 2,
+                 max_batch: int = 8,
+                 max_wait_ms: float = 1.0,
+                 default_timeout_ms: Optional[float] = None,
+                 single_flight: bool = True) -> None:
+        self._backend = backend
+        self._obs = obs or NULL_OBS
+        self._default_timeout_ms = default_timeout_ms
+        self._single_flight = single_flight
+        self._seq = itertools.count()
+        self._closed = False
+        self._lifecycle_lock = threading.Lock()
+
+        self._flight_lock = threading.Lock()
+        self._in_flight: Dict[Tuple[str, Tuple[Any, ...]], Future] = {}
+
+        registry = self._obs.registry
+        self._m_admitted = registry.counter("serving.admitted")
+        self._m_dedup = registry.counter("serving.dedup")
+        self._m_expired = registry.counter("serving.deadline.expired")
+        self._m_batches = registry.counter("serving.batches")
+        self._h_batch_size = registry.histogram("serving.batch.size")
+        self._h_queue_wait = registry.histogram("serving.queue.wait.ms")
+        self._h_request = registry.histogram("serving.request.ms")
+        self._shed_counters: Dict[Tuple[str, str], Any] = {}
+
+        self._admission = AdmissionController(
+            max_queue=max_queue,
+            max_inflight=(max_inflight if max_inflight is not None
+                          else 4 * max_queue),
+            obs=self._obs, on_shed=self._shed_queued)
+        self._pool = WorkerPool(
+            self._admission, self._execute_batch, workers=workers,
+            policy=BatchPolicy(max_batch=max_batch,
+                               max_wait_ms=max_wait_ms))
+        self._pool.start()
+
+    # ------------------------------------------------------------------
+    # client surface
+
+    def request(self, name: str, row: Sequence[Any], *,
+                timeout_ms: Optional[float] = None,
+                priority: str = "normal") -> Dict[str, Any]:
+        """Execute one request through admission, batching, and dedup.
+
+        Blocks until the features are ready (closed-loop clients), the
+        request is shed (:class:`OverloadError`), or its deadline budget
+        runs out (:class:`DeadlineExceededError`).
+
+        Args:
+            name: deployment name.
+            row: request tuple for the deployment's primary table.
+            timeout_ms: per-request deadline budget; overrides the
+                frontend's ``default_timeout_ms``.
+            priority: ``"high"`` / ``"normal"`` / ``"low"`` — under
+                pressure, high outranks (and may evict) low.
+        """
+        try:
+            rank = PRIORITIES[priority]
+        except KeyError:
+            raise OverloadError(
+                f"unknown priority {priority!r} "
+                f"(expected one of {sorted(PRIORITIES)})",
+                deployment=name, reason="bad_priority") from None
+        budget = timeout_ms if timeout_ms is not None \
+            else self._default_timeout_ms
+        deadline = Deadline.after(budget) if budget is not None else None
+        row_key = (name, tuple(row))
+
+        future: Future = Future()
+        if self._single_flight:
+            with self._flight_lock:
+                leader = self._in_flight.setdefault(row_key, future)
+            if leader is not future:
+                # Thundering herd: an identical request is already
+                # queued or executing — ride its result.
+                self._m_dedup.inc()
+                return self._await(leader, deadline, name)
+
+        ticket = Ticket(deployment=name, row=tuple(row), priority=rank,
+                        seq=next(self._seq), future=future,
+                        deadline=deadline)
+        try:
+            self._admission.admit(ticket)
+        except OverloadError as exc:
+            self._count_shed(name, exc.reason)
+            self._forget(row_key, future)
+            if not future.done():
+                future.set_exception(exc)  # fail any deduped followers
+            raise
+        self._m_admitted.inc()
+        return self._await(future, deadline, name)
+
+    def _await(self, future: Future, deadline: Optional[Deadline],
+               name: str) -> Dict[str, Any]:
+        timeout_s = deadline.remaining_ms() / 1_000.0 \
+            if deadline is not None else None
+        try:
+            return future.result(timeout=timeout_s)
+        except FutureTimeoutError:
+            raise DeadlineExceededError(
+                f"request on {name!r} exceeded its deadline while "
+                f"waiting for the result") from None
+
+    # ------------------------------------------------------------------
+    # worker side
+
+    def _execute_batch(self, name: str, tickets: List[Ticket]) -> None:
+        """Run one micro-batch and complete every ticket's future."""
+        now = time.monotonic()
+        live: List[Ticket] = []
+        try:
+            for ticket in tickets:
+                self._h_queue_wait.observe(
+                    (now - ticket.enqueued_s) * 1_000.0)
+                if ticket.deadline is not None and ticket.deadline.expired:
+                    # Expired while queued: drop without executing.
+                    self._m_expired.inc()
+                    self._complete(ticket, DeadlineExceededError(
+                        f"request on {name!r} expired after "
+                        f"{(now - ticket.enqueued_s) * 1_000.0:.1f} ms "
+                        f"in the queue"))
+                else:
+                    live.append(ticket)
+            if live:
+                # Group storage reads by partition: consecutive
+                # requests route to the same partition leader, and
+                # identical scans share fetched rows via the backend's
+                # shared-fetch cache.
+                hint = getattr(self._backend, "request_partition", None)
+                if hint is not None:
+                    live.sort(key=lambda t: (
+                        hint(name, t.row) or 0, t.priority, t.seq))
+                self._m_batches.inc()
+                self._h_batch_size.observe(len(live))
+                self._run_batch(name, live)
+        except BaseException as exc:  # never kill a worker
+            for ticket in tickets:
+                self._complete(ticket, exc)
+        finally:
+            for ticket in tickets:
+                self._forget((name, ticket.row), ticket.future)
+                if not ticket.future.done():  # defensive backstop
+                    ticket.future.set_exception(OverloadError(
+                        "batch executor completed without a result",
+                        deployment=name, reason="internal"))
+            self._admission.release(len(tickets))
+
+    def _run_batch(self, name: str, live: List[Ticket]) -> None:
+        batch_call = getattr(self._backend, "request_batch", None)
+        if batch_call is not None:
+            outcomes = batch_call(
+                name, [ticket.row for ticket in live],
+                deadlines=[ticket.deadline for ticket in live])
+        else:
+            outcomes = []
+            for ticket in live:
+                try:
+                    with deadline_scope(ticket.deadline):
+                        outcomes.append(
+                            self._backend.request(name, ticket.row))
+                except Exception as exc:
+                    outcomes.append(exc)
+        for ticket, outcome in zip(live, outcomes):
+            if isinstance(outcome, DeadlineExceededError):
+                self._m_expired.inc()
+            self._complete(ticket, outcome)
+
+    def _complete(self, ticket: Ticket, outcome: Any) -> None:
+        if ticket.future.done():
+            return
+        self._h_request.observe(
+            (time.monotonic() - ticket.enqueued_s) * 1_000.0)
+        if isinstance(outcome, BaseException):
+            ticket.future.set_exception(outcome)
+        else:
+            ticket.future.set_result(outcome)
+
+    # ------------------------------------------------------------------
+    # shedding bookkeeping
+
+    def _shed_queued(self, ticket: Ticket, reason: str) -> None:
+        """A queued ticket lost its slot to a higher-priority arrival."""
+        self._count_shed(ticket.deployment, reason)
+        self._forget((ticket.deployment, ticket.row), ticket.future)
+        if not ticket.future.done():
+            ticket.future.set_exception(OverloadError(
+                f"request on {ticket.deployment!r} evicted by "
+                f"higher-priority traffic", deployment=ticket.deployment,
+                reason=reason))
+
+    def _count_shed(self, deployment: str, reason: str) -> None:
+        key = (deployment, reason)
+        counter = self._shed_counters.get(key)
+        if counter is None:
+            counter = self._obs.registry.counter(
+                "serving.shed", deployment=deployment, reason=reason)
+            self._shed_counters[key] = counter
+        counter.inc()
+
+    def _forget(self, row_key: Tuple[str, Tuple[Any, ...]],
+                future: Future) -> None:
+        if not self._single_flight:
+            return
+        with self._flight_lock:
+            if self._in_flight.get(row_key) is future:
+                del self._in_flight[row_key]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    @property
+    def draining(self) -> bool:
+        return self._admission.draining
+
+    def queue_depth(self, deployment: Optional[str] = None) -> int:
+        return self._admission.queued(deployment)
+
+    @property
+    def inflight(self) -> int:
+        return self._admission.inflight
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Stop admitting new requests; wait for admitted ones to finish.
+
+        New arrivals shed with ``reason="draining"`` from the moment
+        this is called.  Returns False if in-flight work did not finish
+        within ``timeout`` seconds.
+        """
+        return self._admission.drain(timeout=timeout)
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Drain, then stop the worker pool.  Idempotent."""
+        with self._lifecycle_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._admission.drain(timeout=timeout)
+        self._pool.stop(timeout=timeout)
+
+    def __enter__(self) -> "FrontendServer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

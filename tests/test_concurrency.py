@@ -4,8 +4,10 @@ import threading
 
 
 from repro import OpenMLDB
-from repro.cluster import NameServer, TabletServer
-from repro.errors import StorageError
+from repro.cluster import (FaultInjector, NameServer, RetryPolicy,
+                           TabletServer)
+from repro.errors import OpenMLDBError, StorageError
+from repro.obs import Observability
 from repro.schema import IndexDef, Schema, TTLKind, TTLSpec
 from repro.storage.memtable import MemTable
 from repro.storage.skiplist import TimeSeriesIndex
@@ -290,3 +292,73 @@ class TestClusterWriteRaces:
             for name in table.assignment[pid]:
                 shard = cluster.tablets[name].shard("t", pid)
                 assert shard.applied_offset == last
+
+
+class TestClosedLoopFailover:
+    """A thread-pool closed loop hammers one deployment while the
+    leader of a partition is killed mid-workload.  The availability
+    contract under concurrency: every request either returns features
+    or raises a *typed* ``OpenMLDBError`` (no bare exceptions, no
+    hangs), and the ``ns.requests`` counter accounts for every attempt
+    — nothing is silently dropped on the floor."""
+
+    def test_every_request_succeeds_or_raises_typed_error(self):
+        obs = Observability(enabled=True)
+        fast = RetryPolicy(attempts=3, base_delay_ms=0.1,
+                           multiplier=2.0, max_delay_ms=1.0,
+                           rpc_timeout_ms=20.0)
+        schema = Schema.from_pairs([
+            ("uid", "int"), ("ts", "timestamp"), ("v", "double")])
+        tablets = [TabletServer(f"tablet-{i}") for i in range(3)]
+        cluster = NameServer(tablets, retry_policy=fast, obs=obs)
+        cluster.create_table("t", schema, [IndexDef(("uid",), "ts")],
+                             partitions=2, replicas=2)
+        for uid in range(8):
+            for k in range(5):
+                cluster.put("t", (uid, 1_000 + k * 100, float(k)))
+        cluster.deploy(
+            "feat",
+            "SELECT uid, sum(v) OVER w AS s FROM t "
+            "WINDOW w AS (PARTITION BY uid ORDER BY ts "
+            "  ROWS_RANGE BETWEEN 1000 PRECEDING AND CURRENT ROW)")
+
+        clients, iters = 8, 25
+        outcomes = []
+        outcomes_lock = threading.Lock()
+        started = threading.Barrier(clients + 1)
+
+        def closed_loop(cid):
+            started.wait()
+            for i in range(iters):
+                try:
+                    out = cluster.request(
+                        "feat", ((cid + i) % 8, 1_500, 9.0))
+                except OpenMLDBError as exc:
+                    out = exc
+                with outcomes_lock:
+                    outcomes.append(out)
+
+        threads = [threading.Thread(target=closed_loop, args=(c,))
+                   for c in range(clients)]
+        for thread in threads:
+            thread.start()
+        started.wait()
+        # Kill a partition leader while the loop is in full swing:
+        # racing requests must retry onto the promoted follower or
+        # fail typed — never crash a client thread.
+        FaultInjector(cluster).kill(cluster.leader_of("t", 0).name)
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not any(thread.is_alive() for thread in threads)
+
+        attempts = clients * iters
+        assert len(outcomes) == attempts
+        for out in outcomes:
+            assert isinstance(out, (dict, OpenMLDBError))
+        assert any(isinstance(out, dict) for out in outcomes)
+        # Failover complete: the deployment serves again, and the
+        # request counter saw every attempt (the closed loop plus
+        # this probe).
+        assert isinstance(cluster.request("feat", (0, 1_500, 9.0)),
+                          dict)
+        assert obs.registry.get("ns.requests").value == attempts + 1

@@ -1,0 +1,468 @@
+"""Serving-frontend tests: admission, batching, deadlines, lifecycle.
+
+Covers the `repro.serving` subsystem end to end — unit-level over fake
+backends (deterministic control of timing) and integration-level over
+the simulated cluster — plus the ISSUE acceptance scenario: a saturated
+frontend sheds typed ``OverloadError`` while every admitted request
+completes during ``drain()``, all of it visible in the metrics
+registry.
+"""
+
+import threading
+import time
+from concurrent.futures import Future
+
+import pytest
+
+from repro.cluster import FaultInjector, NameServer, RetryPolicy, TabletServer
+from repro.errors import (DeadlineExceededError, OpenMLDBError,
+                          OverloadError, SchemaError, ServingError,
+                          StorageError)
+from repro.obs import Observability
+from repro.schema import IndexDef, Schema
+from repro.serving import (AdmissionController, Deadline, FrontendServer,
+                           Ticket, current_deadline, deadline_scope)
+
+FAST = RetryPolicy(attempts=2, base_delay_ms=0.1, multiplier=2.0,
+                   max_delay_ms=1.0, rpc_timeout_ms=20.0)
+
+FEATURE_SQL = ("SELECT uid, sum(v) OVER w AS s FROM t "
+               "WINDOW w AS (PARTITION BY uid ORDER BY ts "
+               "ROWS_RANGE BETWEEN 1000 PRECEDING AND CURRENT ROW)")
+
+
+def make_cluster(obs=None, tablets=3, partitions=2, replicas=2,
+                 policy=FAST):
+    schema = Schema.from_pairs([
+        ("uid", "int"), ("ts", "timestamp"), ("v", "double")])
+    cluster = NameServer([TabletServer(f"tablet-{i}")
+                          for i in range(tablets)],
+                         retry_policy=policy, obs=obs)
+    cluster.create_table("t", schema, [IndexDef(("uid",), "ts")],
+                         partitions=partitions, replicas=replicas)
+    for uid in range(8):
+        for k in range(5):
+            cluster.put("t", (uid, 1_000 + k * 100, float(k)))
+    cluster.deploy("feat", FEATURE_SQL)
+    return cluster
+
+
+class RecordingBackend:
+    """Fake backend: counts calls, optionally blocks or sleeps."""
+
+    def __init__(self, delay_s=0.0, gate=None):
+        self.delay_s = delay_s
+        self.gate = gate  # threading.Event the backend waits on
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def request(self, name, row):
+        with self._lock:
+            self.calls += 1
+        if self.gate is not None:
+            assert self.gate.wait(timeout=30)
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        return {"deployment": name, "row": tuple(row)}
+
+
+# ---------------------------------------------------------------------
+# deadlines
+
+
+class TestDeadline:
+    def test_budget_and_clamp(self):
+        deadline = Deadline.after(1_000.0)
+        assert 0 < deadline.remaining_ms() <= 1_000.0
+        assert deadline.clamp_ms(10_000.0) <= 1_000.0
+        assert deadline.clamp_ms(1.0) == 1.0
+        assert not deadline.expired
+
+    def test_expiry_and_check(self):
+        deadline = Deadline.after(0.0)
+        assert deadline.expired
+        assert deadline.remaining_ms() == 0.0
+        with pytest.raises(DeadlineExceededError):
+            deadline.check("unit test")
+
+    def test_scope_is_ambient_and_nests(self):
+        assert current_deadline() is None
+        outer = Deadline.after(1_000.0)
+        inner = Deadline.after(500.0)
+        with deadline_scope(outer):
+            assert current_deadline() is outer
+            with deadline_scope(inner):
+                assert current_deadline() is inner
+            assert current_deadline() is outer
+        assert current_deadline() is None
+
+    def test_none_scope_is_a_no_op(self):
+        outer = Deadline.after(1_000.0)
+        with deadline_scope(outer):
+            with deadline_scope(None):
+                assert current_deadline() is outer
+
+    def test_typed_hierarchy(self):
+        # Serving errors must NOT look like storage failures: the retry
+        # layer failovers on StorageError, never on shed/deadline.
+        assert issubclass(OverloadError, ServingError)
+        assert issubclass(DeadlineExceededError, ServingError)
+        assert issubclass(ServingError, OpenMLDBError)
+        assert not issubclass(ServingError, StorageError)
+
+
+# ---------------------------------------------------------------------
+# admission control
+
+
+def ticket(deployment="d", row=(1,), priority=1, seq=0):
+    return Ticket(deployment=deployment, row=row, priority=priority,
+                  seq=seq, future=Future())
+
+
+class TestAdmissionControl:
+    def test_full_queue_sheds_with_reason(self):
+        control = AdmissionController(max_queue=2)
+        control.admit(ticket(seq=0))
+        control.admit(ticket(seq=1))
+        with pytest.raises(OverloadError) as err:
+            control.admit(ticket(seq=2))
+        assert err.value.reason == "queue_full"
+        assert err.value.deployment == "d"
+        assert control.queued("d") == 2
+
+    def test_high_priority_evicts_queued_low(self):
+        shed = []
+        control = AdmissionController(
+            max_queue=1, on_shed=lambda t, reason: shed.append((t, reason)))
+        low = ticket(priority=2, seq=0)
+        control.admit(low)
+        high = ticket(priority=0, seq=1)
+        control.admit(high)  # evicts `low` instead of shedding itself
+        assert shed == [(low, "evicted")]
+        assert control.queued("d") == 1
+        # The in-flight slot transferred: one admission net.
+        assert control.inflight == 1
+        _, batch = control.next_batch(max_batch=4, max_wait_ms=0)
+        assert batch == [high]
+
+    def test_inflight_limit_sheds(self):
+        control = AdmissionController(max_queue=8, max_inflight=1)
+        control.admit(ticket(seq=0))
+        with pytest.raises(OverloadError) as err:
+            control.admit(ticket(seq=1))
+        assert err.value.reason == "inflight"
+        control.release()
+        control.admit(ticket(seq=2))  # slot freed
+
+    def test_draining_sheds_new_arrivals(self):
+        control = AdmissionController(max_queue=8)
+        control.drain(timeout=0.1)
+        with pytest.raises(OverloadError) as err:
+            control.admit(ticket())
+        assert err.value.reason == "draining"
+
+    def test_batches_serve_deployments_round_robin(self):
+        control = AdmissionController(max_queue=8)
+        for seq in range(2):
+            control.admit(ticket(deployment="a", seq=seq))
+            control.admit(ticket(deployment="b", seq=10 + seq))
+        first, _ = control.next_batch(max_batch=8, max_wait_ms=0)
+        second, _ = control.next_batch(max_batch=8, max_wait_ms=0)
+        assert {first, second} == {"a", "b"}
+
+    def test_priority_orders_within_a_batch(self):
+        control = AdmissionController(max_queue=8)
+        normal = ticket(priority=1, seq=0)
+        high = ticket(priority=0, seq=1)
+        control.admit(normal)
+        control.admit(high)
+        _, batch = control.next_batch(max_batch=8, max_wait_ms=0)
+        assert batch == [high, normal]
+
+
+# ---------------------------------------------------------------------
+# the frontend over fake backends
+
+
+class TestFrontendUnit:
+    def test_request_round_trips(self):
+        backend = RecordingBackend()
+        with FrontendServer(backend, max_wait_ms=0) as frontend:
+            out = frontend.request("d", (1, 2))
+        assert out == {"deployment": "d", "row": (1, 2)}
+        assert backend.calls == 1
+
+    def test_unknown_priority_is_shed_typed(self):
+        with FrontendServer(RecordingBackend()) as frontend:
+            with pytest.raises(OverloadError) as err:
+                frontend.request("d", (1,), priority="urgent")
+        assert err.value.reason == "bad_priority"
+
+    def test_single_flight_dedups_thundering_herd(self):
+        gate = threading.Event()
+        backend = RecordingBackend(gate=gate)
+        obs = Observability(enabled=True)
+        frontend = FrontendServer(backend, obs=obs, workers=1,
+                                  max_wait_ms=0)
+        results, started = [], threading.Barrier(4)
+
+        def herd():
+            started.wait()
+            results.append(frontend.request("d", (7,)))
+
+        threads = [threading.Thread(target=herd) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        # Let the herd pile onto the single in-flight key, then open
+        # the gate: one backend call serves all four clients.
+        time.sleep(0.1)
+        gate.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        frontend.close()
+        assert len(results) == 4
+        assert all(result == results[0] for result in results)
+        assert backend.calls == 1
+        assert obs.registry.get("serving.dedup").value == 3
+        assert obs.registry.get("serving.admitted").value == 1
+
+    def test_single_flight_off_executes_each(self):
+        backend = RecordingBackend()
+        with FrontendServer(backend, single_flight=False,
+                            max_wait_ms=0) as frontend:
+            for _ in range(3):
+                frontend.request("d", (7,))
+        assert backend.calls == 3
+
+    def test_deadline_expired_while_queued_is_dropped(self):
+        gate = threading.Event()
+        backend = RecordingBackend(gate=gate)
+        obs = Observability(enabled=True)
+        frontend = FrontendServer(backend, obs=obs, workers=1,
+                                  single_flight=False, max_wait_ms=0)
+        blocker = threading.Thread(
+            target=lambda: frontend.request("d", (1,)))
+        blocker.start()
+        while backend.calls == 0:  # worker is now held by the gate
+            time.sleep(0.001)
+        with pytest.raises(DeadlineExceededError):
+            frontend.request("d", (2,), timeout_ms=20.0)
+        gate.set()
+        blocker.join(timeout=30)
+        frontend.close()
+        assert obs.registry.get("serving.deadline.expired").value >= 1
+        assert backend.calls == 1  # the expired request never executed
+
+    def test_per_row_failure_stays_per_row(self):
+        class FlakyBackend(RecordingBackend):
+            def request(self, name, row):
+                if row[0] == "bad":
+                    raise StorageError("injected per-row failure")
+                return super().request(name, row)
+
+        with FrontendServer(FlakyBackend(), single_flight=False,
+                            max_wait_ms=0) as frontend:
+            with pytest.raises(StorageError):
+                frontend.request("d", ("bad",))
+            # The failure above did not poison the frontend.
+            assert frontend.request("d", ("good",))["row"] == ("good",)
+
+    def test_drain_and_close_are_idempotent(self):
+        frontend = FrontendServer(RecordingBackend(), max_wait_ms=0)
+        assert frontend.request("d", (1,))["row"] == (1,)
+        assert frontend.drain() is True
+        assert frontend.drain() is True
+        frontend.close()
+        frontend.close()
+        with pytest.raises(OverloadError) as err:
+            frontend.request("d", (2,))
+        assert err.value.reason in ("draining", "closed")
+
+
+# ---------------------------------------------------------------------
+# the frontend over the cluster
+
+
+class TestFrontendOverCluster:
+    def test_matches_direct_cluster_request(self):
+        obs = Observability(enabled=True)
+        cluster = make_cluster(obs=obs)
+        direct = cluster.request("feat", (3, 1_500, 9.0))
+        with FrontendServer(cluster, obs=obs,
+                            max_wait_ms=0) as frontend:
+            assert frontend.request("feat", (3, 1_500, 9.0)) == direct
+        cluster.close()
+
+    def test_batch_shares_window_scans(self):
+        obs = Observability(enabled=True)
+        cluster = make_cluster(obs=obs)
+        rows = [(3, 1_500, 9.0)] * 4
+        outcomes = cluster.request_batch("feat", rows)
+        assert all(outcome == outcomes[0] for outcome in outcomes)
+        assert outcomes[0] == cluster.request("feat", (3, 1_500, 9.0))
+        assert obs.registry.get("online.batch.shared_scans").value >= 3
+        cluster.close()
+
+    def test_batch_isolates_per_row_errors(self):
+        cluster = make_cluster()
+        outcomes = cluster.request_batch(
+            "feat", [(3, 1_500, 9.0), ("not-an-int", 1_500, 9.0)])
+        assert isinstance(outcomes[0], dict)
+        assert isinstance(outcomes[1], SchemaError)
+        cluster.close()
+
+    def test_deadline_stops_retry_without_failover(self):
+        # A slow leader under a generous RPC timeout: only the request
+        # deadline can cut the call short.  That must surface as
+        # DeadlineExceededError and must NOT suspect the tablet — the
+        # budget running out is the client's story, not a failure.
+        obs = Observability(enabled=True)
+        patient = RetryPolicy(attempts=2, base_delay_ms=0.1,
+                              multiplier=2.0, max_delay_ms=1.0,
+                              rpc_timeout_ms=1_000.0)
+        cluster = make_cluster(obs=obs, policy=patient)
+        faults = FaultInjector(cluster)
+        for name in list(cluster.tablets):
+            faults.slow(name, delay_ms=50.0)
+        with pytest.raises(DeadlineExceededError):
+            cluster.request("feat", (3, 1_500, 9.0), timeout_ms=20.0)
+        assert cluster.failovers == 0
+        faults.heal()
+        assert cluster.request("feat", (3, 1_500, 9.0))["s"] >= 0
+        cluster.close()
+
+    def test_frontend_deadline_propagates_to_rpcs(self):
+        patient = RetryPolicy(attempts=2, base_delay_ms=0.1,
+                              multiplier=2.0, max_delay_ms=1.0,
+                              rpc_timeout_ms=1_000.0)
+        cluster = make_cluster(policy=patient)
+        faults = FaultInjector(cluster)
+        for name in list(cluster.tablets):
+            faults.slow(name, delay_ms=50.0)
+        with FrontendServer(cluster, max_wait_ms=0) as frontend:
+            with pytest.raises(DeadlineExceededError):
+                frontend.request("feat", (3, 1_500, 9.0),
+                                 timeout_ms=20.0)
+        assert cluster.failovers == 0
+        cluster.close()
+
+
+# ---------------------------------------------------------------------
+# nameserver lifecycle + narrowed replication errors
+
+
+class TestNameServerLifecycle:
+    def test_close_is_idempotent_and_rejects_traffic(self):
+        cluster = make_cluster()
+        cluster.close()
+        cluster.close()  # idempotent
+        with pytest.raises(StorageError, match="cluster closed"):
+            cluster.put("t", (1, 9_000, 1.0))
+        with pytest.raises(StorageError, match="cluster closed"):
+            cluster.request("feat", (1, 1_500, 1.0))
+        with pytest.raises(StorageError, match="cluster closed"):
+            cluster.request_batch("feat", [(1, 1_500, 1.0)])
+
+
+class TestReplicationErrorNarrowing:
+    def _cluster_with_follower(self):
+        obs = Observability(enabled=True)
+        cluster = make_cluster(obs=obs, partitions=1)
+        leader = cluster.leader_of("t", 0).name
+        follower_name = next(
+            name for name in cluster.tables["t"].assignment[0]
+            if name != leader)
+        return cluster, obs, cluster.tablets[follower_name]
+
+    def test_storage_error_becomes_lag_not_a_write_failure(self):
+        cluster, obs, follower = self._cluster_with_follower()
+        errors_before = obs.registry.get(
+            "cluster.replication.errors").value
+
+        def broken(*args, **kwargs):
+            raise StorageError("injected delivery failure")
+
+        follower.replicate = broken
+        cluster.put("t", (1, 9_000, 1.0))  # acknowledged regardless
+        assert obs.registry.get("cluster.replication.errors").value \
+            == errors_before + 1
+        cluster.close()
+
+    def test_programming_error_propagates(self):
+        cluster, _, follower = self._cluster_with_follower()
+
+        def buggy(*args, **kwargs):
+            raise TypeError("a bug, not a delivery failure")
+
+        follower.replicate = buggy
+        with pytest.raises(TypeError):
+            cluster.put("t", (1, 9_000, 1.0))
+        cluster.close()
+
+
+# ---------------------------------------------------------------------
+# ISSUE acceptance: graceful degradation under saturation
+
+
+class TestSaturationAcceptance:
+    def test_saturated_frontend_sheds_and_drains_cleanly(self):
+        obs = Observability(enabled=True)
+        backend = RecordingBackend(delay_s=0.005)
+        frontend = FrontendServer(backend, obs=obs, max_queue=4,
+                                  max_inflight=8, workers=1,
+                                  max_batch=4, max_wait_ms=0,
+                                  single_flight=False)
+        clients = 16
+        outcomes = []
+        lock = threading.Lock()
+        started = threading.Barrier(clients)
+
+        def closed_loop(cid):
+            started.wait()
+            for i in range(6):
+                try:
+                    out = frontend.request("feat", (cid, i))
+                except OverloadError as exc:
+                    out = exc
+                with lock:
+                    outcomes.append(out)
+
+        threads = [threading.Thread(target=closed_loop, args=(c,))
+                   for c in range(clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert frontend.drain(timeout=30) is True
+        frontend.close()
+
+        served = [out for out in outcomes if isinstance(out, dict)]
+        shed = [out for out in outcomes
+                if isinstance(out, OverloadError)]
+        assert len(served) + len(shed) == clients * 6
+        # 16 clients against 1 worker, queue bound 4, in-flight bound
+        # 8: saturation sheds...
+        assert shed
+        assert {exc.reason for exc in shed} <= {
+            "queue_full", "inflight", "draining"}
+        # ...but every admitted request completed (served == executed).
+        assert len(served) == backend.calls
+        assert obs.registry.get("serving.admitted").value == len(served)
+
+        registry = obs.registry
+        # The degradation is visible in the registry: shed counters by
+        # reason, a batch-size distribution, and empty queues post-drain.
+        shed_total = sum(
+            series.value for series in registry.series()
+            if series.name == "serving.shed")
+        assert shed_total == len(shed)
+        assert registry.get("serving.batches").value >= 1
+        batch_sizes = registry.get("serving.batch.size")
+        assert batch_sizes.count >= 1
+        assert batch_sizes.max <= 4
+        assert registry.get("serving.inflight").value == 0
+        depth_gauges = [series for series in registry.series()
+                        if series.name == "serving.queue.depth"]
+        assert depth_gauges
+        assert all(gauge.value == 0 for gauge in depth_gauges)

@@ -12,6 +12,9 @@ reliably:
 * **E722** — bare ``except:``.
 * **E711/E712** — comparison to ``None`` / ``True`` / ``False`` with
   ``==`` or ``!=``.
+* **B006** — mutable default argument (a literal ``[]`` / ``{}`` /
+  ``set()`` / comprehension, or a ``list()``/``dict()``/``set()`` call,
+  as a parameter default — shared across calls, a classic footgun).
 
 Usage: ``python tools/lint.py PATH [PATH ...]`` — paths are files or
 directories (searched recursively for ``*.py``).  Exits non-zero when
@@ -155,6 +158,34 @@ def check_singleton_compare(path: pathlib.Path,
                     break
 
 
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray"}
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CALLS
+    return False
+
+
+def check_mutable_defaults(path: pathlib.Path,
+                           tree: ast.Module) -> Iterator[Finding]:
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None]
+        for default in defaults:
+            if _is_mutable_default(default):
+                yield (str(path), default.lineno,
+                       default.col_offset + 1, "B006",
+                       "do not use mutable data structures for "
+                       "argument defaults")
+
+
 def lint(paths: List[str]) -> List[Finding]:
     findings: List[Finding] = []
     for path in iter_python_files(paths):
@@ -166,7 +197,7 @@ def lint(paths: List[str]) -> List[Finding]:
                              "E999", f"syntax error: {exc.msg}"))
             continue
         for checker in (check_unused_imports, check_bare_except,
-                        check_singleton_compare):
+                        check_singleton_compare, check_mutable_defaults):
             findings.extend(checker(path, tree))
     return findings
 
