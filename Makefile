@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint verify verify-docs bench bench-smoke examples
+.PHONY: test lint verify verify-docs bench bench-smoke examples profile
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -33,3 +33,8 @@ bench-smoke:
 
 examples:
 	for script in examples/*.py; do $(PYTHON) $$script || exit 1; done
+
+# Where a request's time goes: cProfile over a canned fig6-style
+# workload.  `--path {incremental,fused,naive}` selects the tier.
+profile:
+	$(PYTHON) tools/profile.py

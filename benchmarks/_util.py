@@ -3,11 +3,39 @@ insertion in benchmarks/conftest.py)."""
 
 from __future__ import annotations
 
+import json
+import pathlib
+
 from repro import OpenMLDB
 from repro.workloads.microbench import (MicroBenchConfig, build_feature_sql,
                                         generate)
 
-__all__ = ["build_openmldb", "openmldb_for_config"]
+__all__ = ["build_openmldb", "openmldb_for_config", "record_bench"]
+
+BENCH_RESULTS_PATH = \
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_online.json"
+
+
+def record_bench(figure, **medians):
+    """Persist one figure's median measurements to ``BENCH_online.json``.
+
+    The file at the repo root maps figure name → {metric: median}; each
+    benchmark run overwrites its own figure's entry and leaves the rest,
+    so successive runs (including ``make bench-smoke``) accumulate one
+    comparable record per figure for regression tracking.
+    """
+    try:
+        results = json.loads(BENCH_RESULTS_PATH.read_text())
+        if not isinstance(results, dict):
+            results = {}
+    except (FileNotFoundError, ValueError):
+        results = {}
+    entry = results.setdefault(figure, {})
+    for metric, value in medians.items():
+        entry[metric] = round(value, 6) if isinstance(value, float) \
+            else value
+    BENCH_RESULTS_PATH.write_text(
+        json.dumps(results, indent=2, sort_keys=True) + "\n")
 
 
 def build_openmldb(data, sql, deployment="bench", observability=False):

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from _util import build_openmldb
+from _util import build_openmldb, record_bench
 from repro.baselines import DuckDBEngine, MySQLMemoryEngine, TrinoRedisEngine
 from repro.bench import (measure_latencies, measure_throughput,
                          print_stage_breakdown, print_table)
@@ -60,6 +60,9 @@ def test_fig6_online_microbench(benchmark, microbench_online):
     benchmark.extra_info["speedups"] = {
         name: latencies[name].mean / open_mean
         for name in systems if name != "openmldb"}
+    record_bench("fig6_online_microbench",
+                 **{f"{name}_tp50_ms": stats.tp50
+                    for name, stats in latencies.items()})
 
     # Where the latency goes: re-run a slice with observability enabled
     # (the measured numbers above stay on the default, uninstrumented

@@ -25,6 +25,7 @@ import time
 
 import pytest
 
+from _util import record_bench
 from repro.bench import LatencyStats
 from repro.cluster import FaultInjector, NameServer, TabletServer
 from repro.errors import OverloadError
@@ -127,6 +128,9 @@ def test_batched_frontend_beats_serial_throughput(benchmark,
     benchmark.extra_info["serial_qps"] = serial_qps
     benchmark.extra_info["frontend_qps"] = front_qps
     benchmark.extra_info["speedup"] = front_qps / serial_qps
+    record_bench("fig_serving_throughput", serial_qps=serial_qps,
+                 frontend_qps=front_qps,
+                 speedup=front_qps / serial_qps)
     benchmark.pedantic(cluster.request, args=("feat", rows[0]),
                        rounds=10, iterations=1)
 
@@ -176,5 +180,7 @@ def test_shedding_bounds_tail_latency(benchmark, serving_cluster):
     benchmark.extra_info["unbounded_p99_ms"] = queued_p99
     benchmark.extra_info["bounded_p99_ms"] = shed_p99
     benchmark.extra_info["shed"] = len(shed_errors)
+    record_bench("fig_serving_shedding", unbounded_p99_ms=queued_p99,
+                 bounded_p99_ms=shed_p99, shed=len(shed_errors))
     benchmark.pedantic(cluster.request, args=("feat", (0, ANCHOR_TS, 0.0)),
                        rounds=5, iterations=1)

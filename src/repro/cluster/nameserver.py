@@ -145,6 +145,23 @@ class _ClusterTableView:
             merged = merged[:limit]
         return iter(merged)
 
+    def window_scan_blocks(self, keys: Sequence[str], ts_column: str,
+                           key_value: Any, start_ts: Optional[int] = None,
+                           end_ts: Optional[int] = None,
+                           limit: Optional[int] = None,
+                           block_rows: int = 256
+                           ) -> List[List[Tuple[int, Row]]]:
+        """Chunked window scan over the cluster (one merged block).
+
+        The cross-partition merge materialises the row list anyway, so
+        the chunked API hands the engine that list as a single block —
+        the fused kernels then fold it without per-row iterator hops.
+        """
+        merged = list(self.window_scan(keys, ts_column, key_value,
+                                       start_ts=start_ts, end_ts=end_ts,
+                                       limit=limit))
+        return [merged] if merged else []
+
     def last_join_lookup(self, keys: Sequence[str], key_value: Any,
                          before_ts: Optional[int] = None
                          ) -> Optional[Tuple[int, Row]]:

@@ -280,6 +280,8 @@ class OpenMLDB:
         deployment = Deployment.from_statement(statement, sql, compiled)
         deployment.initialize_preagg(self.tables, self._register_updater,
                                      obs=self.obs)
+        deployment.initialize_incremental(self.tables,
+                                          self._register_updater)
         self.deployments[statement.name] = deployment
         return deployment
 
@@ -300,14 +302,18 @@ class OpenMLDB:
         """Like :meth:`request`, returning the raw feature tuple."""
         deployment = self._deployment(deployment_name)
         preagg = deployment.preaggs if deployment.uses_preagg else None
+        incremental = (deployment.incrementals
+                       if deployment.uses_incremental else None)
         if not self.obs.enabled:
             return self.online_engine.execute_request(
-                deployment.compiled, row, preagg=preagg)
+                deployment.compiled, row, preagg=preagg,
+                incremental=incremental)
         start = time.perf_counter()
         with self.obs.tracer.span("deployment.execute",
                                   deployment=deployment_name):
             features = self.online_engine.execute_request(
-                deployment.compiled, row, preagg=preagg)
+                deployment.compiled, row, preagg=preagg,
+                incremental=incremental)
         self._h_request.observe((time.perf_counter() - start) * 1_000)
         return features
 
@@ -418,14 +424,25 @@ class OpenMLDB:
                 continue
             fresh.insert(entry.row)
             replayed += 1
+        if isinstance(old, MemTable) and isinstance(fresh, MemTable):
+            # Incremental window state mirrors TTL sweeps through table
+            # eviction subscriptions; carry them to the rebuilt table.
+            for callback in old.eviction_subscribers:
+                fresh.subscribe_eviction(callback)
         self.tables[name] = fresh
-        # Deployed pre-aggregators keep their own state — they consumed
-        # the same binlog asynchronously, so nothing is lost with the
-        # table's in-memory structures.
+        # Deployed pre-aggregators and incremental window state keep
+        # their own buffers — they consumed the same binlog
+        # asynchronously, so nothing is lost with the table's in-memory
+        # structures.
         return replayed
 
     def evict_expired(self, now_ts: int) -> int:
         """Run TTL eviction across all memory tables."""
+        if self._updaters:
+            # Drain pending binlog closures first so ingest-maintained
+            # state (pre-aggregation, incremental windows) mirrors the
+            # same row set the sweep sees.
+            self.replicator.wait_idle(timeout=5.0)
         removed = 0
         for table in self.tables.values():
             if isinstance(table, MemTable):

@@ -28,6 +28,7 @@ from ..schema import Row
 from ..sql import ast
 from ..sql.compiler import CompiledQuery
 from ..storage.memtable import normalize_ts
+from ..online.incremental import IncrementalWindowState
 from ..online.preagg import (LongWindowOption, PreAggregator,
                              parse_long_windows)
 
@@ -45,6 +46,9 @@ class Deployment:
         long_windows: parsed long-window options, empty when disabled.
         preaggs: window name → {aggregate slot → PreAggregator}; the
             online engine answers these slots from pre-aggregation.
+        incrementals: canonical window name → ingest-time running window
+            state (Section 5.2); the online engine answers whole windows
+            from these on warm keys, falling back to scans otherwise.
         backfill_seconds: measured aggregator backfill cost at deploy time.
     """
 
@@ -53,6 +57,8 @@ class Deployment:
     compiled: CompiledQuery
     long_windows: Tuple[LongWindowOption, ...] = ()
     preaggs: Dict[str, Dict[int, PreAggregator]] = dataclasses.field(
+        default_factory=dict)
+    incrementals: Dict[str, IncrementalWindowState] = dataclasses.field(
         default_factory=dict)
     backfill_seconds: float = 0.0
 
@@ -137,6 +143,49 @@ class Deployment:
             ts_fn=ts_fn, bucket_ms=option.bucket_ms, levels=levels)
 
     # ------------------------------------------------------------------
+
+    def initialize_incremental(
+            self, tables: Mapping[str, Any],
+            register_updater: Callable[[str, Callable], None]) -> None:
+        """Create, backfill, and wire ingest-time window state.
+
+        Every *eligible* window gets a per-key running aggregate state
+        maintained from the binlog (Section 5.2 applied at ingest time):
+        no WINDOW UNION, no INSTANCE_NOT_IN_WINDOW, all aggregates
+        invertible and order-insensitive, and a primary table whose TTL
+        eviction can be mirrored (memory tables).  Windows already
+        served by long-window pre-aggregation keep that path.  Anything
+        ineligible silently stays on the scan-fold path — incremental
+        state is an accelerator, never a semantics change.
+        """
+        table_name = self.compiled.plan.table
+        table = tables.get(table_name)
+        if table is None or not hasattr(table, "subscribe_eviction"):
+            return
+        for name, window in self.compiled.windows.items():
+            if not window.aggregates or name in self.preaggs:
+                continue
+            state = IncrementalWindowState.for_window(
+                window, tables, table_name)
+            if state is None:
+                continue
+            state.backfill(table.rows())
+            register_updater(table_name, state.make_update_closure())
+            table.subscribe_eviction(state.on_ttl_evict)
+            self.incrementals[name] = state
+
+    @property
+    def uses_incremental(self) -> bool:
+        return bool(self.incrementals)
+
+    def incremental_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-window ingest-state footprint (keys and buffered rows)."""
+        return {
+            name: {"keys": state.key_count,
+                   "buffered_rows": state.buffered_rows(),
+                   "rows_seen": state.rows_seen}
+            for name, state in self.incrementals.items()
+        }
 
     @property
     def uses_preagg(self) -> bool:

@@ -243,14 +243,21 @@ class OfflineEngine:
                     hit = table.last_join_lookup(join.key_columns, key_value)
                     matched = hit[1] if hit is not None else None
                 else:
+                    # Residual scan through the chunked API: candidate
+                    # rows arrive a block at a time, same as the online
+                    # engine's window fetches.
                     index = table.find_index(join.key_columns)
-                    for _ts, candidate in table.window_scan(
+                    for block in table.window_scan_blocks(
                             join.key_columns, index.ts_column, key_value):
-                        probe = list(combined)
-                        probe[join.start_slot:
-                              join.start_slot + join.right_width] = candidate
-                        if join.residual_fn(tuple(probe)) is True:
-                            matched = candidate
+                        for _ts, candidate in block:
+                            probe = list(combined)
+                            probe[join.start_slot:
+                                  join.start_slot
+                                  + join.right_width] = candidate
+                            if join.residual_fn(tuple(probe)) is True:
+                                matched = candidate
+                                break
+                        if matched is not None:
                             break
                 if matched is not None:
                     combined[join.start_slot:

@@ -19,9 +19,9 @@ from __future__ import annotations
 import dataclasses
 import queue
 import threading
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Iterable, List, Optional, Tuple
 
-__all__ = ["BinlogEntry", "Replicator"]
+__all__ = ["BinlogEntry", "IngestConsumer", "Replicator"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -31,6 +31,37 @@ class BinlogEntry:
     offset: int
     table: str
     row: Tuple[Any, ...]
+
+
+class IngestConsumer:
+    """Base for ingest-maintained state fed through binlog closures.
+
+    Anything that keeps derived state per inserted row — pre-aggregation
+    buckets (Section 5.1), incremental window state (Section 5.2) —
+    implements :meth:`absorb` and hands :meth:`make_update_closure` to
+    the replicator at registration time.  The closure is the paper's
+    ``update_aggr``: it runs asynchronously on the replicator worker in
+    offset order, so consumers see rows exactly once, in a total order,
+    without slowing the insertion fast path.
+    """
+
+    def absorb(self, row: Tuple[Any, ...]) -> None:
+        """Fold one table row into the consumer's state."""
+        raise NotImplementedError
+
+    def make_update_closure(self) -> Callable[[BinlogEntry], None]:
+        """Closure for :meth:`Replicator.append_entry` (``update_aggr``)."""
+        def update_aggr(entry: BinlogEntry) -> None:
+            self.absorb(entry.row)
+        return update_aggr
+
+    def backfill(self, rows: Iterable[Tuple[Any, ...]]) -> int:
+        """Absorb pre-existing rows (deploy-time catch-up); returns count."""
+        count = 0
+        for row in rows:
+            self.absorb(row)
+            count += 1
+        return count
 
 
 class Replicator:

@@ -8,20 +8,27 @@ The fast path per request:
 
 1. Resolve each ``LAST JOIN`` through the right table's stream index —
    the newest matching tuple is O(1) thanks to the two-level skiplist.
-2. For every window, fetch its rows via index scans bounded by the
-   request timestamp (window unions merge several tables' scans
-   newest-first), or — for deployed *long windows* — ask the
+2. For every window, first consult **incremental window state** (per-key
+   running aggregates maintained at ingest time); on a hit the window
+   costs O(aggregates).  Otherwise fetch the window's rows as *blocks*
+   via index scans bounded by the request timestamp (window unions merge
+   several tables' scans newest-first) and fold them through the
+   window's **fused kernel** — or, for deployed *long windows*, ask the
    pre-aggregation manager for merged bucket states and scan only the
    raw head/tail spans (Section 5.1's query refinement).
-3. Fold the compiled aggregates and project the output row.
+3. Project the output row.
 
-The engine is stateless across requests; all state lives in the storage
-layer and the pre-aggregators, so concurrent requests need no locks.
+The engine keeps no per-request state across calls; window/preagg state
+lives in the storage layer and the ingest-time aggregators.  Statistics
+are accumulated per request in a local counter bundle and applied to
+:class:`EngineStats` under its lock in one step, so concurrent requests
+from the serving frontend's worker pool never lose increments.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import threading
 from typing import (Any, Dict, Iterator, List, Mapping, Optional, Sequence,
                     Tuple)
 
@@ -35,17 +42,64 @@ from .preagg import PreAggregator
 
 __all__ = ["OnlineEngine", "EngineStats"]
 
+_COUNTER_FIELDS = ("rows_scanned", "scan_blocks", "preagg_bucket_merges",
+                   "preagg_raw_rows", "join_lookups", "shared_scan_hits",
+                   "incremental_hits", "incremental_fallbacks")
+
+
+class _RequestCounters:
+    """Per-request statistic deltas.
+
+    Accumulated lock-free on the request's own stack, then folded into
+    the shared :class:`EngineStats` in a single locked step — the fix
+    for the racy ``stats.field += 1`` pattern under concurrent serving.
+    """
+
+    __slots__ = _COUNTER_FIELDS
+
+    def __init__(self) -> None:
+        self.rows_scanned = 0
+        self.scan_blocks = 0
+        self.preagg_bucket_merges = 0
+        self.preagg_raw_rows = 0
+        self.join_lookups = 0
+        self.shared_scan_hits = 0
+        self.incremental_hits = 0
+        self.incremental_fallbacks = 0
+
 
 @dataclasses.dataclass
 class EngineStats:
-    """Counters for observability and the ablation benches."""
+    """Counters for observability and the ablation benches.
+
+    Updated only through :meth:`apply` (one lock acquisition per
+    request), never via in-place ``+=`` from request threads.
+    """
 
     requests: int = 0
     rows_scanned: int = 0
+    scan_blocks: int = 0
     preagg_bucket_merges: int = 0
     preagg_raw_rows: int = 0
     join_lookups: int = 0
     shared_scan_hits: int = 0
+    incremental_hits: int = 0
+    incremental_fallbacks: int = 0
+    _lock: threading.Lock = dataclasses.field(
+        default_factory=threading.Lock, repr=False, compare=False)
+
+    def apply(self, counters: _RequestCounters) -> None:
+        """Fold one request's deltas in atomically."""
+        with self._lock:
+            self.requests += 1
+            self.rows_scanned += counters.rows_scanned
+            self.scan_blocks += counters.scan_blocks
+            self.preagg_bucket_merges += counters.preagg_bucket_merges
+            self.preagg_raw_rows += counters.preagg_raw_rows
+            self.join_lookups += counters.join_lookups
+            self.shared_scan_hits += counters.shared_scan_hits
+            self.incremental_hits += counters.incremental_hits
+            self.incremental_fallbacks += counters.incremental_fallbacks
 
 
 class OnlineEngine:
@@ -57,29 +111,45 @@ class OnlineEngine:
         obs: observability handle.  Disabled (the default) keeps the
             request path exactly as fast as the uninstrumented engine;
             enabled adds per-stage trace spans and metric series.
+        fused_fold: fold windows through the compiler's fused kernels
+            (:meth:`CompiledWindow.compute_blocks`).  ``False`` selects
+            the pre-fusion per-row/per-state fold — the ablation
+            baseline.
+        block_scan: fetch window rows through the storage layer's
+            chunked ``window_scan_blocks`` API.  ``False`` selects the
+            per-row iterator scans (ablation baseline).
     """
 
     def __init__(self, tables: Mapping[str, Any],
-                 obs: Optional[Observability] = None) -> None:
+                 obs: Optional[Observability] = None,
+                 fused_fold: bool = True,
+                 block_scan: bool = True) -> None:
         self._tables = tables
+        self._fused_fold = fused_fold
+        self._block_scan = block_scan
         self.stats = EngineStats()
         self._obs = obs or NULL_OBS
         registry = self._obs.registry
         self._m_requests = registry.counter("online.requests")
         self._m_rows_scanned = registry.counter("online.rows_scanned")
+        self._m_scan_blocks = registry.counter("online.scan.blocks")
         self._m_join_lookups = registry.counter("online.join_lookups")
         self._m_preagg_merges = registry.counter(
             "online.preagg.bucket_merges")
         self._m_preagg_raw = registry.counter("online.preagg.raw_rows")
         self._m_shared_scans = registry.counter(
             "online.batch.shared_scans")
+        self._m_incr_hits = registry.counter("online.incremental.hits")
+        self._m_incr_fallbacks = registry.counter(
+            "online.incremental.fallbacks")
 
     # ------------------------------------------------------------------
 
     def execute_request(
             self, compiled: CompiledQuery, request_row: Sequence[Any],
             preagg: Optional[Mapping[str, Mapping[int, PreAggregator]]] = None,
-            shared_fetch: Optional[Dict[Any, List[Tuple[int, Row]]]] = None
+            shared_fetch: Optional[Dict[Any, List[List[Row]]]] = None,
+            incremental: Optional[Mapping[str, Any]] = None
     ) -> Row:
         """Run one request tuple through a compiled deployment.
 
@@ -93,6 +163,11 @@ class OnlineEngine:
                 requests of one batch; window scans that resolve to the
                 same (window, partition key, anchor ts) are fetched once
                 and reused (hot keys under herd traffic).
+            incremental: window name → ingest-time incremental window
+                state (see :mod:`repro.online.incremental`).  Windows
+                present here try the O(aggregates) hit path first and
+                fall back to a fused scan-fold when the state declines
+                (cold key, stale replication, out-of-order anchor).
 
         Returns:
             The projected feature row.
@@ -103,17 +178,18 @@ class OnlineEngine:
         """
         if self._obs.enabled:
             return self._execute_request_traced(compiled, request_row,
-                                                preagg, shared_fetch)
+                                                preagg, shared_fetch,
+                                                incremental)
         deadline = current_deadline()
         plan = compiled.plan
         validated = plan.table_schema.validate_row(request_row)
-        self.stats.requests += 1
+        counters = _RequestCounters()
 
         # Build the combined row: primary columns then each join's.
         combined: List[Any] = [None] * compiled.combined_width
         combined[:len(validated)] = validated
         for join in compiled.joins:
-            matched = self._resolve_join(join, combined)
+            matched = self._resolve_join(join, combined, counters)
             if matched is not None:
                 combined[join.start_slot:
                          join.start_slot + join.right_width] = matched
@@ -121,13 +197,14 @@ class OnlineEngine:
 
         if compiled.where_fn is not None \
                 and compiled.where_fn(combined_tuple) is not True:
+            self.stats.apply(counters)
             raise ExecutionError(
                 "request tuple filtered out by WHERE predicate")
 
         # Window aggregates, with row fetches shared between windows that
         # the compiler recognised as identical definitions.
         aggregate_values: List[Any] = [None] * compiled.aggregate_count
-        fetched: Dict[str, List[Row]] = {}
+        fetched: Dict[str, List[List[Row]]] = {}
         for name, window in compiled.windows.items():
             if not window.aggregates:
                 continue
@@ -139,20 +216,33 @@ class OnlineEngine:
                               in window.aggregates
                               if compiled_agg.slot not in preagg_slots]
             if raw_aggregates or not preagg_slots:
-                if canonical not in fetched:
-                    fetched[canonical] = self._window_rows(
-                        compiled, window, validated, shared_fetch,
-                        canonical)
-                rows = fetched[canonical]
-                results = window.compute(rows)
+                results = None
+                if incremental is not None and not preagg_slots:
+                    # Keyed by the window's own name: merged siblings
+                    # share a scan but carry distinct aggregate slots.
+                    state = incremental.get(name)
+                    if state is not None:
+                        results = state.compute(validated)
+                        if results is not None:
+                            counters.incremental_hits += 1
+                        else:
+                            counters.incremental_fallbacks += 1
+                if results is None:
+                    if canonical not in fetched:
+                        fetched[canonical] = self._window_blocks(
+                            compiled, window, validated, counters,
+                            shared_fetch, canonical)
+                    results = self._fold_window(window, fetched[canonical])
                 for slot, value in results.items():
                     if slot not in preagg_slots:
                         aggregate_values[slot] = value
             for slot, aggregator in preagg_slots.items():
                 aggregate_values[slot] = self._preagg_value(
-                    compiled, window, aggregator, validated)
+                    compiled, window, aggregator, validated, counters)
         extended = combined_tuple + tuple(aggregate_values)
-        return compiled.project(extended)
+        projected = compiled.project(extended)
+        self.stats.apply(counters)
+        return projected
 
     # ------------------------------------------------------------------
     # traced request path (observability enabled)
@@ -160,7 +250,8 @@ class OnlineEngine:
     def _execute_request_traced(
             self, compiled: CompiledQuery, request_row: Sequence[Any],
             preagg: Optional[Mapping[str, Mapping[int, PreAggregator]]],
-            shared_fetch: Optional[Dict[Any, List[Tuple[int, Row]]]] = None
+            shared_fetch: Optional[Dict[Any, List[List[Row]]]] = None,
+            incremental: Optional[Mapping[str, Any]] = None
     ) -> Row:
         """:meth:`execute_request` with per-stage spans and metrics.
 
@@ -172,7 +263,7 @@ class OnlineEngine:
         deadline = current_deadline()
         plan = compiled.plan
         validated = plan.table_schema.validate_row(request_row)
-        self.stats.requests += 1
+        counters = _RequestCounters()
         self._m_requests.inc()
 
         combined: List[Any] = [None] * compiled.combined_width
@@ -180,7 +271,7 @@ class OnlineEngine:
         for join in compiled.joins:
             with tracer.span("index.seek",
                              table=join.plan.right_table) as span:
-                matched = self._resolve_join(join, combined)
+                matched = self._resolve_join(join, combined, counters)
                 span.set_tag(hit=matched is not None)
             if matched is not None:
                 combined[join.start_slot:
@@ -189,11 +280,12 @@ class OnlineEngine:
 
         if compiled.where_fn is not None \
                 and compiled.where_fn(combined_tuple) is not True:
+            self.stats.apply(counters)
             raise ExecutionError(
                 "request tuple filtered out by WHERE predicate")
 
         aggregate_values: List[Any] = [None] * compiled.aggregate_count
-        fetched: Dict[str, List[Row]] = {}
+        fetched: Dict[str, List[List[Row]]] = {}
         for name, window in compiled.windows.items():
             if not window.aggregates:
                 continue
@@ -205,51 +297,73 @@ class OnlineEngine:
                               in window.aggregates
                               if compiled_agg.slot not in preagg_slots]
             if raw_aggregates or not preagg_slots:
-                if canonical not in fetched:
-                    scanned_before = self.stats.rows_scanned
-                    with tracer.span("window.scan", window=name) as span:
-                        fetched[canonical] = self._window_rows(
-                            compiled, window, validated, shared_fetch,
-                            canonical)
-                        span.set_tag(rows=len(fetched[canonical]))
-                    self._m_rows_scanned.inc(
-                        self.stats.rows_scanned - scanned_before)
-                rows = fetched[canonical]
-                with tracer.span("agg.fold", window=name,
-                                 rows=len(rows)):
-                    results = window.compute(rows)
+                results = None
+                if incremental is not None and not preagg_slots:
+                    state = incremental.get(name)
+                    if state is not None:
+                        with tracer.span("incremental.lookup",
+                                         window=name) as span:
+                            results = state.compute(validated)
+                            span.set_tag(hit=results is not None)
+                        if results is not None:
+                            counters.incremental_hits += 1
+                            self._m_incr_hits.inc()
+                        else:
+                            counters.incremental_fallbacks += 1
+                            self._m_incr_fallbacks.inc()
+                if results is None:
+                    if canonical not in fetched:
+                        scanned_before = counters.rows_scanned
+                        blocks_before = counters.scan_blocks
+                        with tracer.span("window.scan", window=name) as span:
+                            fetched[canonical] = self._window_blocks(
+                                compiled, window, validated, counters,
+                                shared_fetch, canonical)
+                            span.set_tag(rows=sum(
+                                len(block)
+                                for block in fetched[canonical]))
+                        self._m_rows_scanned.inc(
+                            counters.rows_scanned - scanned_before)
+                        self._m_scan_blocks.inc(
+                            counters.scan_blocks - blocks_before)
+                    blocks = fetched[canonical]
+                    with tracer.span("agg.fold", window=name,
+                                     rows=sum(len(block)
+                                              for block in blocks)):
+                        results = self._fold_window(window, blocks)
                 for slot, value in results.items():
                     if slot not in preagg_slots:
                         aggregate_values[slot] = value
             for slot, aggregator in preagg_slots.items():
-                merges_before = self.stats.preagg_bucket_merges
-                raw_before = self.stats.preagg_raw_rows
+                merges_before = counters.preagg_bucket_merges
+                raw_before = counters.preagg_raw_rows
                 with tracer.span("preagg.lookup", window=name,
                                  func=aggregator.func_name) as span:
                     aggregate_values[slot] = self._preagg_value(
-                        compiled, window, aggregator, validated)
+                        compiled, window, aggregator, validated, counters)
                     span.set_tag(
-                        bucket_merges=(self.stats.preagg_bucket_merges
+                        bucket_merges=(counters.preagg_bucket_merges
                                        - merges_before),
-                        raw_rows=self.stats.preagg_raw_rows - raw_before)
+                        raw_rows=counters.preagg_raw_rows - raw_before)
                 self._m_preagg_merges.inc(
-                    self.stats.preagg_bucket_merges - merges_before)
+                    counters.preagg_bucket_merges - merges_before)
                 self._m_preagg_raw.inc(
-                    self.stats.preagg_raw_rows - raw_before)
+                    counters.preagg_raw_rows - raw_before)
         extended = combined_tuple + tuple(aggregate_values)
         with tracer.span("encode"):
             projected = compiled.project(extended)
         self._m_join_lookups.inc(len(compiled.joins))
+        self.stats.apply(counters)
         return projected
 
     # ------------------------------------------------------------------
     # joins
 
-    def _resolve_join(self, join: CompiledJoin,
-                      combined: List[Any]) -> Optional[Row]:
+    def _resolve_join(self, join: CompiledJoin, combined: List[Any],
+                      counters: _RequestCounters) -> Optional[Row]:
         table = self._tables[join.plan.right_table]
         key_value = join.key_fn(tuple(combined))
-        self.stats.join_lookups += 1
+        counters.join_lookups += 1
         if join.residual_fn is None:
             hit = table.last_join_lookup(join.key_columns, key_value)
             return hit[1] if hit is not None else None
@@ -261,7 +375,7 @@ class OnlineEngine:
             probe = list(combined)
             probe[join.start_slot:
                   join.start_slot + join.right_width] = candidate
-            self.stats.rows_scanned += 1
+            counters.rows_scanned += 1
             if join.residual_fn(tuple(probe)) is True:
                 return candidate
         return None
@@ -269,19 +383,26 @@ class OnlineEngine:
     # ------------------------------------------------------------------
     # windows
 
-    def _window_rows(self, compiled: CompiledQuery, window: CompiledWindow,
-                     request_row: Row,
-                     shared: Optional[Dict[Any, List[Tuple[int, Row]]]]
-                     = None,
-                     cache_name: Optional[str] = None) -> List[Row]:
-        """Fetch a window's rows (newest-first), request row included.
+    def _fold_window(self, window: CompiledWindow,
+                     blocks: List[List[Row]]) -> Dict[int, Any]:
+        if self._fused_fold:
+            return window.compute_blocks(blocks)
+        rows = [row for block in blocks for row in block]
+        return window.compute_naive(rows)
 
-        With ``shared`` (one dict per micro-batch), the *stored* rows of
-        a scan are cached under ``(window, partition key, anchor ts)``
-        and reused by later requests in the batch that resolve to the
-        identical scan — the request row itself is prepended per
-        request, so requests sharing a key/timestamp but carrying
-        different payloads stay correct.
+    def _window_blocks(self, compiled: CompiledQuery,
+                       window: CompiledWindow, request_row: Row,
+                       counters: _RequestCounters,
+                       shared: Optional[Dict[Any, List[List[Row]]]] = None,
+                       cache_name: Optional[str] = None) -> List[List[Row]]:
+        """Fetch a window's rows as newest-first blocks, request row first.
+
+        With ``shared`` (one dict per micro-batch), the *stored* row
+        blocks of a scan are cached under ``(window, partition key,
+        anchor ts)`` and reused by later requests in the batch that
+        resolve to the identical scan — the request row itself is
+        prepended per request, so requests sharing a key/timestamp but
+        carrying different payloads stay correct.
         """
         plan = window.plan
         primary = compiled.plan.table
@@ -299,8 +420,8 @@ class OnlineEngine:
 
         cache_key = (cache_name, key, anchor_ts) \
             if shared is not None and cache_name is not None else None
-        merged = shared.get(cache_key) if cache_key is not None else None
-        if merged is None:
+        stored = shared.get(cache_key) if cache_key is not None else None
+        if stored is None:
             # INSTANCE_NOT_IN_WINDOW: stored instance-table rows never
             # enter the window — only union-table rows (the request row
             # itself still participates unless EXCLUDE CURRENT_ROW).
@@ -308,32 +429,66 @@ class OnlineEngine:
                 else [self._tables[primary]]
             sources.extend(self._tables[union_table]
                            for union_table in plan.union_tables)
-            iterators = [
-                source.window_scan(plan.partition_columns,
-                                   plan.order_column, key,
-                                   start_ts=anchor_ts, end_ts=end_ts)
-                for source in sources
-            ]
-            merged = _merge_newest_first(iterators, limit=limit)
-            self.stats.rows_scanned += len(merged)
+            stored = self._fetch_stored_blocks(
+                sources, plan, key, anchor_ts, end_ts, limit)
+            counters.rows_scanned += sum(len(block) for block in stored)
+            counters.scan_blocks += len(stored)
             if cache_key is not None:
-                shared[cache_key] = merged
+                shared[cache_key] = stored
         else:
-            self.stats.shared_scan_hits += 1
+            counters.shared_scan_hits += 1
             self._m_shared_scans.inc()
 
-        include_request = not plan.exclude_current_row
-        rows: List[Row] = [request_row] if include_request else []
-        rows.extend(row for _ts, row in merged)
+        blocks: List[List[Row]] = [] if plan.exclude_current_row \
+            else [[request_row]]
+        blocks.extend(stored)
         if plan.maxsize is not None:
-            rows = rows[:plan.maxsize]
-        return rows
+            blocks = _cap_blocks(blocks, plan.maxsize)
+        return blocks
+
+    def _fetch_stored_blocks(self, sources: List[Any], plan: Any, key: Any,
+                             anchor_ts: int, end_ts: Optional[int],
+                             limit: Optional[int]) -> List[List[Row]]:
+        """Scan the window's sources into newest-first row blocks.
+
+        Single-source windows stream the storage layer's blocks through
+        unchanged (no merge step at all); unions fall back to a k-way
+        merge over block cursors.  Storage objects without the chunked
+        API (e.g. cluster table views, which merge partitions remotely)
+        degrade to the per-row iterator path.
+        """
+        if limit is not None and limit <= 0:
+            return []  # e.g. ROWS BETWEEN 0 PRECEDING: only the request row
+        if self._block_scan:
+            block_scans = [getattr(source, "window_scan_blocks", None)
+                           for source in sources]
+            if all(scan is not None for scan in block_scans):
+                if len(block_scans) == 1:
+                    return [[pair[1] for pair in block]
+                            for block in block_scans[0](
+                                plan.partition_columns, plan.order_column,
+                                key, start_ts=anchor_ts, end_ts=end_ts,
+                                limit=limit)]
+                merged = _merge_blocks_newest_first(
+                    [iter(scan(plan.partition_columns, plan.order_column,
+                               key, start_ts=anchor_ts, end_ts=end_ts))
+                     for scan in block_scans], limit=limit)
+                return [merged] if merged else []
+        iterators = [
+            source.window_scan(plan.partition_columns, plan.order_column,
+                               key, start_ts=anchor_ts, end_ts=end_ts)
+            for source in sources
+        ]
+        merged_rows = [pair[1] for pair
+                       in _merge_newest_first(iterators, limit=limit)]
+        return [merged_rows] if merged_rows else []
 
     # ------------------------------------------------------------------
     # pre-aggregation path
 
     def _preagg_value(self, compiled: CompiledQuery, window: CompiledWindow,
-                      aggregator: PreAggregator, request_row: Row) -> Any:
+                      aggregator: PreAggregator, request_row: Row,
+                      counters: _RequestCounters) -> Any:
         """Answer one long-window aggregate via query refinement."""
         plan = window.plan
         if not plan.is_range_frame:
@@ -343,7 +498,7 @@ class OnlineEngine:
         anchor_ts = normalize_ts(window.order_value(request_row))
         lo = anchor_ts - plan.range_preceding_ms
         refined = aggregator.query(key, lo, anchor_ts)
-        self.stats.preagg_bucket_merges += sum(
+        counters.preagg_bucket_merges += sum(
             refined.buckets_used.values())
 
         function = aggregator.function
@@ -351,9 +506,9 @@ class OnlineEngine:
         # Raw spans: head (oldest edge) merged *before* the bucket state,
         # tail (newest edge, includes the open bucket) merged after.
         head_state = self._raw_span_state(compiled, window, aggregator, key,
-                                          refined.head_span)
+                                          refined.head_span, counters)
         tail_state = self._raw_span_state(compiled, window, aggregator, key,
-                                          refined.tail_span)
+                                          refined.tail_span, counters)
         merged = None
         for piece in (head_state, state, tail_state):
             if piece is None:
@@ -373,22 +528,55 @@ class OnlineEngine:
     def _raw_span_state(self, compiled: CompiledQuery,
                         window: CompiledWindow,
                         aggregator: PreAggregator, key: Any,
-                        span: Optional[Tuple[int, int]]) -> Any:
+                        span: Optional[Tuple[int, int]],
+                        counters: _RequestCounters) -> Any:
         if span is None:
             return None
         plan = window.plan
         table = self._tables[compiled.plan.table]
         function = aggregator.function
         state = None
+        add = function.add
+        extract = aggregator.extract_args
+        scan_blocks = getattr(table, "window_scan_blocks", None) \
+            if self._block_scan else None
+        if scan_blocks is not None:
+            blocks = list(scan_blocks(plan.partition_columns,
+                                      plan.order_column, key,
+                                      start_ts=span[1], end_ts=span[0]))
+            counters.preagg_raw_rows += sum(len(block) for block in blocks)
+            for block_index in range(len(blocks) - 1, -1, -1):
+                block = blocks[block_index]
+                for pair_index in range(len(block) - 1, -1, -1):
+                    if state is None:
+                        state = function.create()
+                    add(state, *extract(block[pair_index][1]))
+            return state
         rows = list(table.window_scan(plan.partition_columns,
                                       plan.order_column, key,
                                       start_ts=span[1], end_ts=span[0]))
-        self.stats.preagg_raw_rows += len(rows)
+        counters.preagg_raw_rows += len(rows)
         for _ts, row in reversed(rows):  # oldest → newest
             if state is None:
                 state = function.create()
-            function.add(state, *aggregator.extract_args(row))
+            add(state, *extract(row))
         return state
+
+
+def _cap_blocks(blocks: List[List[Row]], maxsize: int) -> List[List[Row]]:
+    """Truncate a block list to at most ``maxsize`` total rows."""
+    capped: List[List[Row]] = []
+    remaining = maxsize
+    for block in blocks:
+        if remaining <= 0:
+            break
+        if len(block) <= remaining:
+            capped.append(block)
+            remaining -= len(block)
+        else:
+            capped.append(block[:remaining])
+            remaining = 0
+    return capped
 
 
 def _merge_newest_first(iterators: List[Iterator[Tuple[int, Row]]],
@@ -412,3 +600,45 @@ def _merge_newest_first(iterators: List[Iterator[Tuple[int, Row]]],
         if limit is not None and len(merged) >= limit:
             return merged
         heads[best_slot] = next(iterators[best_slot], None)
+
+
+def _merge_blocks_newest_first(
+        block_iterators: List[Iterator[List[Tuple[int, Row]]]],
+        limit: Optional[int]) -> List[Row]:
+    """k-way merge over *block* streams, producing one merged row list.
+
+    Cursors advance by list indexing within each source's current block,
+    so the per-row cost is a few tuple compares — no generator resumes
+    until a source exhausts a block.  Ties keep the earlier source first
+    (the primary table leads), matching :func:`_merge_newest_first`.
+    """
+    blocks: List[Optional[List[Tuple[int, Row]]]] = []
+    positions: List[int] = []
+    for iterator in block_iterators:
+        blocks.append(next(iterator, None))
+        positions.append(0)
+    merged: List[Row] = []
+    append = merged.append
+    while True:
+        best_slot = -1
+        best_ts: Optional[int] = None
+        for slot, block in enumerate(blocks):
+            if block is None:
+                continue
+            ts = block[positions[slot]][0]
+            if best_ts is None or ts > best_ts:
+                best_ts = ts
+                best_slot = slot
+        if best_slot < 0:
+            return merged
+        block = blocks[best_slot]
+        position = positions[best_slot]
+        append(block[position][1])  # type: ignore[index]
+        if limit is not None and len(merged) >= limit:
+            return merged
+        position += 1
+        if position >= len(block):  # type: ignore[arg-type]
+            blocks[best_slot] = next(block_iterators[best_slot], None)
+            positions[best_slot] = 0
+        else:
+            positions[best_slot] = position

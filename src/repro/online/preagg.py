@@ -25,13 +25,13 @@ from __future__ import annotations
 
 import dataclasses
 import threading
-from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple)
+from typing import (Any, Callable, Dict, List, Optional, Tuple)
 
 from ..errors import DeploymentError
 from ..obs import NULL_COUNTER, Observability
 from ..schema import Row
 from ..sql.functions import AggregateFunction, get_aggregate
-from .binlog import BinlogEntry
+from .binlog import IngestConsumer
 from .segment_tree import SegmentTree
 
 __all__ = ["LongWindowOption", "PreAggregator", "PreAggQueryResult",
@@ -153,7 +153,7 @@ class _KeyLevelBuckets:
         return self.tree.query(lo_leaf, hi_leaf), hi_leaf - lo_leaf
 
 
-class PreAggregator:
+class PreAggregator(IngestConsumer):
     """Multi-level pre-aggregation for one (window, aggregate) pair.
 
     Args:
@@ -241,22 +241,9 @@ class PreAggregator:
             self.rows_absorbed += 1
         self._m_absorbed.inc()
 
-    def make_update_closure(self) -> Callable[[BinlogEntry], None]:
-        """The ``update_aggr`` closure appended to the binlog."""
-
-        def update_aggr(entry: BinlogEntry) -> None:
-            self.absorb(entry.row)
-
-        return update_aggr
-
-    def backfill(self, rows: Sequence[Row]) -> int:
-        """Absorb pre-existing table data at deployment time.
-
-        This is the "slightly higher data loading overhead" of Figure 11.
-        """
-        for row in rows:
-            self.absorb(row)
-        return len(rows)
+    # ``make_update_closure`` / ``backfill`` come from IngestConsumer; the
+    # deploy-time backfill is the "slightly higher data loading overhead"
+    # of Figure 11.
 
     # ------------------------------------------------------------------
     # query refinement

@@ -37,6 +37,7 @@ from collections import defaultdict
 from typing import (Any, Callable, Dict, Iterable, List, Optional, Sequence,
                     Tuple)
 
+from ..sql.functions import get_aggregate
 from .incremental import SlidingWindowAggregator
 
 __all__ = ["StaticScheduler", "DynamicScheduler", "WindowUnionProcessor",
@@ -223,7 +224,6 @@ class WindowUnionProcessor:
             while len(buffer) > self.max_rows:
                 buffer.pop(0)
         results: List[Any] = []
-        from ..sql.functions import get_aggregate
         for (name, constants), extractor in zip(self._functions,
                                                 self._extractors):
             function = get_aggregate(name, *constants)

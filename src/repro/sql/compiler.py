@@ -53,6 +53,29 @@ _SUMCOUNT_FAMILY = ("sum", "count", "avg")
 _MULTISET_FAMILY = ("min", "max", "distinct_count", "topn_frequency")
 
 
+def _sumcount_result(func_name: str, total: Any, count: int) -> Any:
+    if func_name == "count":
+        return count
+    if func_name == "sum":
+        return total if count else None
+    return total / count if count else None  # avg
+
+
+def _multiset_result(func_name: str, constants: Tuple[Any, ...],
+                     counter: Counter) -> Any:
+    if func_name == "min":
+        return min(counter) if counter else None
+    if func_name == "max":
+        return max(counter) if counter else None
+    if func_name == "distinct_count":
+        return len(counter)
+    # topn_frequency
+    top_n = int(constants[0])
+    ranked = sorted(((str(key), count) for key, count in counter.items()),
+                    key=lambda item: (-item[1], item[0]))
+    return ",".join(key for key, _count in ranked[:top_n])
+
+
 class _SumCountState:
     """Shared (total, count) accumulator for the sum/count/avg family."""
 
@@ -68,11 +91,7 @@ class _SumCountState:
             self.count += 1
 
     def results(self, func_name: str, constants: Tuple[Any, ...]) -> Any:
-        if func_name == "count":
-            return self.count
-        if func_name == "sum":
-            return self.total if self.count else None
-        return self.total / self.count if self.count else None  # avg
+        return _sumcount_result(func_name, self.total, self.count)
 
 
 class _MultisetState:
@@ -88,18 +107,7 @@ class _MultisetState:
             self.counter[value] += 1
 
     def results(self, func_name: str, constants: Tuple[Any, ...]) -> Any:
-        counter = self.counter
-        if func_name == "min":
-            return min(counter) if counter else None
-        if func_name == "max":
-            return max(counter) if counter else None
-        if func_name == "distinct_count":
-            return len(counter)
-        # topn_frequency
-        top_n = int(constants[0])
-        ranked = sorted(((str(key), count) for key, count in counter.items()),
-                        key=lambda item: (-item[1], item[0]))
-        return ",".join(key for key, _count in ranked[:top_n])
+        return _multiset_result(func_name, constants, self.counter)
 
 
 @dataclasses.dataclass
@@ -123,6 +131,14 @@ class CompiledWindow:
     ``compute`` takes the window rows **newest-first** (the storage
     layer's natural order) and returns ``{slot: value}``.  Internally it
     folds oldest→newest so order-sensitive aggregates see time order.
+
+    Compilation emits one **fused fold kernel** per window: a single
+    closure that advances every aggregate's state in one pass over the
+    scan.  Order-insensitive families fold column-at-a-time with local
+    accumulators (``map`` over each block drives the C-level column
+    extractors), so the hot loop carries no per-row method dispatch and
+    allocates nothing per row.  Order-sensitive aggregates fold in a
+    second, oldest→newest pass within the same kernel.
     """
 
     def __init__(self, plan: WindowPlan, schema: Schema,
@@ -134,9 +150,12 @@ class CompiledWindow:
         self._aggregates: List[CompiledAggregate] = []
         self._group_factories: List[Callable[[], Any]] = []
         self._group_arg_fns: List[Callable[[Row], Tuple[Any, ...]]] = []
+        self._group_scalar_fns: List[RowFn] = []
+        self._group_families: List[str] = []
         self._group_keys: Dict[Tuple[Any, ...], int] = {}
         for binding in plan.aggregates:
             self._aggregates.append(self._compile_binding(binding, scope))
+        self._fold = self._build_fold_kernel()
 
     # -- compilation --------------------------------------------------
 
@@ -151,12 +170,13 @@ class CompiledWindow:
 
         name = binding.func_name
         family: Optional[str] = None
-        if name in _SUMCOUNT_FAMILY:
-            family = "sumcount"
-            factory: Callable[[], Any] = _SumCountState
-        elif name in _MULTISET_FAMILY:
-            family = "multiset"
-            factory = _MultisetState
+        if len(arg_fns) == 1:
+            if name in _SUMCOUNT_FAMILY:
+                family = "sumcount"
+                factory: Callable[[], Any] = _SumCountState
+            elif name in _MULTISET_FAMILY:
+                family = "multiset"
+                factory = _MultisetState
         if family is not None:
             group_key = (family, binding.value_args)
             group = self._group_keys.get(group_key)
@@ -164,6 +184,8 @@ class CompiledWindow:
                 group = len(self._group_factories)
                 self._group_factories.append(factory)
                 self._group_arg_fns.append(arg_fn)
+                self._group_scalar_fns.append(arg_fns[0])
+                self._group_families.append(family)
                 self._group_keys[group_key] = group
             return CompiledAggregate(binding=binding, arg_fn=arg_fn,
                                      shared_group=group)
@@ -171,6 +193,113 @@ class CompiledWindow:
         return CompiledAggregate(
             binding=binding, arg_fn=arg_fn,
             instance_factory=lambda: get_aggregate(name, *constants))
+
+    def _build_fold_kernel(
+            self) -> Callable[[Sequence[Sequence[Row]]], Dict[int, Any]]:
+        """Specialise one fold closure for this window's aggregate mix.
+
+        The classification happens *here*, at compile time; the returned
+        kernel only runs tight loops.  Three order-insensitive programs:
+
+        * ``sumcount`` — one (total, count) pair per distinct argument
+          expression, shared by sum/count/avg (cycle binding);
+        * ``multiset`` — a :class:`Counter` per argument expression, but
+          only when distinct_count/topn_frequency need true multiplicity;
+        * ``minmax`` — min/max-only groups skip the Counter entirely and
+          reduce each block with C-level ``min``/``max``.
+
+        Everything else (order-sensitive, multi-argument) folds through
+        the generic :class:`AggregateFunction` protocol, oldest→newest.
+        """
+        sumcount_programs: List[Tuple[RowFn, Tuple[Tuple[str, int], ...]]] = []
+        multiset_programs: List[
+            Tuple[RowFn, Tuple[Tuple[str, Tuple[Any, ...], int], ...]]] = []
+        minmax_programs: List[Tuple[RowFn, Tuple[Tuple[str, int], ...]]] = []
+        for group, family in enumerate(self._group_families):
+            members = tuple(compiled for compiled in self._aggregates
+                            if compiled.shared_group == group)
+            scalar_fn = self._group_scalar_fns[group]
+            if family == "sumcount":
+                sumcount_programs.append((scalar_fn, tuple(
+                    (c.binding.func_name, c.slot) for c in members)))
+            elif any(c.binding.func_name in ("distinct_count",
+                                             "topn_frequency")
+                     for c in members):
+                multiset_programs.append((scalar_fn, tuple(
+                    (c.binding.func_name, c.binding.constants, c.slot)
+                    for c in members)))
+            else:
+                minmax_programs.append((scalar_fn, tuple(
+                    (c.binding.func_name, c.slot) for c in members)))
+        generic_programs = tuple(
+            (compiled.arg_fn, compiled.instance_factory, compiled.slot)
+            for compiled in self._aggregates
+            if compiled.instance_factory is not None)
+        sumcounts = tuple(sumcount_programs)
+        multisets = tuple(multiset_programs)
+        minmaxes = tuple(minmax_programs)
+
+        def fold(blocks: Sequence[Sequence[Row]]) -> Dict[int, Any]:
+            results: Dict[int, Any] = {}
+            # Accumulation runs oldest → newest (blocks arrive newest-
+            # first) so float sums and Counter insertion order are
+            # bit-identical to the naive fold and the ingest-time
+            # incremental state; ``reversed`` on a list block stays a
+            # C-level iterator, so ``map`` still drives the loop.
+            for scalar_fn, outs in sumcounts:
+                total = 0
+                count = 0
+                for block_index in range(len(blocks) - 1, -1, -1):
+                    for value in map(scalar_fn,
+                                     reversed(blocks[block_index])):
+                        if value is not None:
+                            total += value
+                            count += 1
+                for func_name, slot in outs:
+                    results[slot] = _sumcount_result(func_name, total, count)
+            for scalar_fn, typed_outs in multisets:
+                counter: Counter = Counter()
+                update = counter.update
+                for block_index in range(len(blocks) - 1, -1, -1):
+                    update(value for value in
+                           map(scalar_fn, reversed(blocks[block_index]))
+                           if value is not None)
+                for func_name, constants, slot in typed_outs:
+                    results[slot] = _multiset_result(func_name, constants,
+                                                     counter)
+            for scalar_fn, outs in minmaxes:
+                lowest = None
+                highest = None
+                for block in blocks:
+                    values = [value for value in map(scalar_fn, block)
+                              if value is not None]
+                    if values:
+                        block_min = min(values)
+                        block_max = max(values)
+                        if lowest is None or block_min < lowest:
+                            lowest = block_min
+                        if highest is None or block_max > highest:
+                            highest = block_max
+                for func_name, slot in outs:
+                    results[slot] = (lowest if func_name == "min"
+                                     else highest)
+            if generic_programs:
+                live = []
+                for arg_fn, factory, slot in generic_programs:
+                    function = factory()
+                    live.append((function.add, function.create(), arg_fn,
+                                 function, slot))
+                for block_index in range(len(blocks) - 1, -1, -1):
+                    block = blocks[block_index]
+                    for row_index in range(len(block) - 1, -1, -1):
+                        row = block[row_index]
+                        for add, state, arg_fn, _function, _slot in live:
+                            add(state, *arg_fn(row))
+                for _add, state, _arg_fn, function, slot in live:
+                    results[slot] = function.result(state)
+            return results
+
+        return fold
 
     @property
     def state_groups(self) -> int:
@@ -193,6 +322,28 @@ class CompiledWindow:
 
     def compute(self, rows_newest_first: Sequence[Row]) -> Dict[int, Any]:
         """Fold the window's rows and return ``{slot: result}``."""
+        return self._fold((rows_newest_first,))
+
+    def compute_blocks(self,
+                       blocks_newest_first: Sequence[Sequence[Row]]
+                       ) -> Dict[int, Any]:
+        """Fold newest-first row *blocks* through the fused kernel.
+
+        This is the hot entry point: the storage layer's block scans feed
+        straight in, so the only per-row work left anywhere on the path
+        is the kernel's own accumulation loops.
+        """
+        return self._fold(blocks_newest_first)
+
+    def compute_naive(self, rows_newest_first: Sequence[Row]
+                      ) -> Dict[int, Any]:
+        """The pre-fusion fold: per-row, per-state method dispatch.
+
+        Kept as the ablation baseline (``benchmarks/
+        test_ablation_fused_fold.py``) and as an independent oracle for
+        the differential tests — it shares the state classes but not the
+        fused kernel's loop structure.
+        """
         group_states = [factory() for factory in self._group_factories]
         instances: List[Tuple[CompiledAggregate, AggregateFunction, Any]] = []
         for compiled in self._aggregates:

@@ -13,6 +13,7 @@ NULL semantics follow SQL: arithmetic and comparisons propagate NULL;
 
 from __future__ import annotations
 
+import operator
 import re
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -186,8 +187,10 @@ def compile_expr(expr: ast.Expr, scope: Scope,
         value = expr.value
         return lambda row: value
     if isinstance(expr, ast.ColumnRef):
-        slot = scope.resolve(expr)
-        return lambda row: row[slot]
+        # itemgetter is a C-level callable: driving it with ``map`` over a
+        # row block keeps the whole extraction loop out of the interpreter,
+        # which the fused fold kernels rely on.
+        return operator.itemgetter(scope.resolve(expr))
     if isinstance(expr, ast.BinaryOp):
         left = compile_expr(expr.left, scope, aggregate_slots)
         right = compile_expr(expr.right, scope, aggregate_slots)

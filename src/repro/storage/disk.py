@@ -328,6 +328,29 @@ class DiskTable:
             if limit is not None and produced >= limit:
                 break
 
+    def window_scan_blocks(self, keys: Sequence[str], ts_column: str,
+                           key_value: Any, start_ts: Optional[int] = None,
+                           end_ts: Optional[int] = None,
+                           limit: Optional[int] = None,
+                           block_rows: int = 256
+                           ) -> Iterator[List[Tuple[int, Row]]]:
+        """Chunked window scan — same contract as
+        :meth:`MemTable.window_scan_blocks`.
+
+        The LSM read path is a genuine k-way merge (memtable + SST runs),
+        so rows are produced one at a time regardless; batching them into
+        blocks still lets the engines fold with the same tight-loop
+        kernels they use against pure memtables.
+        """
+        merged = self.window_scan(keys, ts_column, key_value,
+                                  start_ts=start_ts, end_ts=end_ts,
+                                  limit=limit)
+        while True:
+            block = list(itertools.islice(merged, block_rows))
+            if not block:
+                return
+            yield block
+
     def last_join_lookup(self, keys: Sequence[str], key_value: Any,
                          before_ts: Optional[int] = None
                          ) -> Optional[Tuple[int, Row]]:

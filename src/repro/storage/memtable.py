@@ -28,6 +28,7 @@ from .skiplist import TimeSeriesIndex
 __all__ = ["MemTable", "normalize_ts"]
 
 InsertCallback = Callable[[str, Row, int], None]
+EvictionCallback = Callable[[str, int], None]
 
 
 def normalize_ts(value: Any) -> int:
@@ -99,6 +100,7 @@ class MemTable:
         self._log: List[Row] = []
         self._log_lock = threading.Lock()
         self._subscribers: List[InsertCallback] = []
+        self._eviction_subscribers: List[EvictionCallback] = []
         self._bytes = 0
         metrics = (obs or NULL_OBS).registry.labels(table=name)
         self._m_inserts = metrics.counter("storage.inserts")
@@ -116,6 +118,17 @@ class MemTable:
         monotone "binlog offset" of Section 5.1.
         """
         self._subscribers.append(callback)
+
+    def subscribe_eviction(self, callback: EvictionCallback) -> None:
+        """Register a callback invoked as ``callback(table, now_ts)``
+        *after* a TTL sweep — the hook incremental window state uses to
+        mirror eviction so its buffers never outlive the index rows."""
+        self._eviction_subscribers.append(callback)
+
+    @property
+    def eviction_subscribers(self) -> Tuple[EvictionCallback, ...]:
+        """Registered eviction callbacks (recovery re-attaches these)."""
+        return tuple(self._eviction_subscribers)
 
     def insert(self, row: Sequence[Any]) -> int:
         """Validate and insert one row; returns its log offset."""
@@ -196,6 +209,24 @@ class MemTable:
         return self._structures[index.name].scan(
             key_value, start_ts=start_ts, end_ts=end_ts, limit=limit)
 
+    def window_scan_blocks(self, keys: Sequence[str], ts_column: str,
+                           key_value: Any, start_ts: Optional[int] = None,
+                           end_ts: Optional[int] = None,
+                           limit: Optional[int] = None,
+                           block_rows: int = 256
+                           ) -> Iterator[List[Tuple[int, Row]]]:
+        """Chunked :meth:`window_scan`: newest-first blocks of ``(ts, row)``.
+
+        One index seek, then level-0 pointer hops batched into lists —
+        the scan shape the fused fold kernels consume (no per-row
+        iterator resumes on the request hot path).
+        """
+        index = self.find_index(keys, ts_column)
+        self._m_scans.inc()
+        return self._structures[index.name].scan_blocks(
+            key_value, start_ts=start_ts, end_ts=end_ts, limit=limit,
+            block_rows=block_rows)
+
     def last_join_lookup(self, keys: Sequence[str], key_value: Any,
                          before_ts: Optional[int] = None
                          ) -> Optional[Tuple[int, Row]]:
@@ -227,6 +258,8 @@ class MemTable:
                       for structure in self._structures.values())
         if removed:
             self._m_ttl_evicted.inc(removed)
+        for callback in self._eviction_subscribers:
+            callback(self.name, now_ts)
         return removed
 
     def key_cardinality(self, index_name: Optional[str] = None) -> int:

@@ -314,6 +314,47 @@ class _TimeList:
             if limit is not None and count >= limit:
                 break
 
+    def scan_blocks(self, start_ts: Optional[int] = None,
+                    end_ts: Optional[int] = None,
+                    limit: Optional[int] = None,
+                    block_rows: int = 256
+                    ) -> Iterator[List[Tuple[int, Any]]]:
+        """Like :meth:`scan`, but yields *blocks* (lists) of ``(ts, row)``.
+
+        The per-row iterator protocol dominates scan cost for long
+        windows — every tuple pays a generator resume plus an
+        ``AtomicReference.get`` call.  Here the level-0 walk runs inside
+        one frame, touching ``_value`` directly (reads of a published
+        pointer are wait-free; see :class:`AtomicReference`), and hands
+        the caller ``block_rows``-sized lists it can fold with tight
+        loops.
+        """
+        lst = self._list
+        if start_ts is None:
+            node = lst._head.forwards[0]._value
+        else:
+            node = lst._find_predecessors(
+                (-start_ts, -(2 ** 63)))[0].forwards[0]._value
+        remaining = limit
+        block: List[Tuple[int, Any]] = []
+        append = block.append
+        while node is not None:
+            ts = -node.key[0]
+            if end_ts is not None and ts < end_ts:
+                break  # ordered: everything further is older
+            append((ts, node.value))
+            if remaining is not None:
+                remaining -= 1
+                if remaining == 0:
+                    break
+            if len(block) >= block_rows:
+                yield block
+                block = []
+                append = block.append
+            node = node.forwards[0]._value
+        if block:
+            yield block
+
     def truncate_before(self, horizon_ts: int) -> int:
         """Drop all tuples with ts < ``horizon_ts``; return removed count.
 
@@ -379,6 +420,22 @@ class TimeSeriesIndex:
         if time_list is None:
             return iter(())
         return time_list.scan(start_ts=start_ts, end_ts=end_ts, limit=limit)
+
+    def scan_blocks(self, key: Any, start_ts: Optional[int] = None,
+                    end_ts: Optional[int] = None,
+                    limit: Optional[int] = None,
+                    block_rows: int = 256
+                    ) -> Iterator[List[Tuple[int, Any]]]:
+        """Yield newest-first blocks of ``(ts, row)`` for ``key``.
+
+        The chunked counterpart of :meth:`scan` — see
+        :meth:`_TimeList.scan_blocks` for why blocks beat per-row hops.
+        """
+        time_list = self._keys.get(key)
+        if time_list is None:
+            return iter(())
+        return time_list.scan_blocks(start_ts=start_ts, end_ts=end_ts,
+                                     limit=limit, block_rows=block_rows)
 
     def scan_all(self) -> Iterator[Tuple[Any, int, Any]]:
         """Yield every ``(key, ts, row)``, keys ascending, ts descending."""

@@ -228,9 +228,13 @@ class TestSingleNodeWiring:
 
     def test_request_produces_full_span_set(self, db):
         db.request("feat", ("c1", 10_000, 5.0))
-        names = {span["name"] for span in db.obs.tracer.last_trace()}
-        assert {"deployment.execute", "window.scan",
-                "agg.fold", "encode"} <= names
+        spans = {span["name"]: span for span in db.obs.tracer.last_trace()}
+        # sum() over a plain window is served from ingest-time
+        # incremental state: the trace shows the state lookup instead
+        # of a window.scan/agg.fold pair.
+        assert {"deployment.execute", "incremental.lookup",
+                "encode"} <= spans.keys()
+        assert spans["incremental.lookup"]["tags"]["hit"] is True
 
     def test_request_metrics_accumulate(self, db):
         for _ in range(3):

@@ -15,6 +15,12 @@ reliably:
 * **B006** — mutable default argument (a literal ``[]`` / ``{}`` /
   ``set()`` / comprehension, or a ``list()``/``dict()``/``set()`` call,
   as a parameter default — shared across calls, a classic footgun).
+* **PERF001** — ``lambda`` allocated inside a loop of a hot-path
+  function (name contains ``fold``/``compute``/``kernel``).  The fused
+  fold kernels exist to keep per-row work allocation-free; a lambda in
+  the loop body re-creates a closure object per iteration.  Compile-time
+  lambdas (built once, outside any loop — e.g. in ``_compile_binding``)
+  are fine and not flagged.
 
 Usage: ``python tools/lint.py PATH [PATH ...]`` — paths are files or
 directories (searched recursively for ``*.py``).  Exits non-zero when
@@ -186,6 +192,36 @@ def check_mutable_defaults(path: pathlib.Path,
                        "argument defaults")
 
 
+_HOT_NAME_TAGS = ("fold", "compute", "kernel")
+
+
+def check_loop_lambda_alloc(path: pathlib.Path,
+                            tree: ast.Module) -> Iterator[Finding]:
+    """PERF001 — per-iteration closure allocation in a fold kernel.
+
+    Only loop *bodies* inside functions whose name marks them as
+    hot-path (fold/compute/kernel) are scanned, so the compiler's
+    build-once lambdas (allocated at deploy time, not per row) never
+    trip the rule.
+    """
+    for func in ast.walk(tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        name = func.name.lower()
+        if not any(tag in name for tag in _HOT_NAME_TAGS):
+            continue
+        for loop in ast.walk(func):
+            if not isinstance(loop, (ast.For, ast.While)):
+                continue
+            for node in ast.walk(loop):
+                if isinstance(node, ast.Lambda):
+                    yield (str(path), node.lineno, node.col_offset + 1,
+                           "PERF001",
+                           f"lambda allocated inside a loop of hot-path "
+                           f"function {func.name!r}; hoist the closure "
+                           "out of the per-row loop")
+
+
 def lint(paths: List[str]) -> List[Finding]:
     findings: List[Finding] = []
     for path in iter_python_files(paths):
@@ -197,7 +233,8 @@ def lint(paths: List[str]) -> List[Finding]:
                              "E999", f"syntax error: {exc.msg}"))
             continue
         for checker in (check_unused_imports, check_bare_except,
-                        check_singleton_compare, check_mutable_defaults):
+                        check_singleton_compare, check_mutable_defaults,
+                        check_loop_lambda_alloc):
             findings.extend(checker(path, tree))
     return findings
 

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Profile the online request hot path — where does a feature lookup
+actually spend its time?
+
+Runs cProfile over a canned fig6-style MicroBench workload (two
+windows, one LAST JOIN, two union tables) and prints the top functions
+by cumulative and by self time.  ``--path`` selects the execution tier
+so the effect of the hot-path overhaul is directly visible:
+
+* ``incremental`` (default) — the deployed request path: ingest-time
+  window state where eligible, fused kernels elsewhere;
+* ``fused``   — block-based scans + fused fold kernels, no ingest-time
+  state;
+* ``naive``   — the pre-overhaul per-row iterator merge and per-row
+  per-state fold.
+
+Usage::
+
+    make profile                       # incremental tier, 400 requests
+    python tools/profile.py --path naive --rounds 200 --top 20
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+# This file is named like the stdlib ``profile`` module, which cProfile
+# imports internally.  Drop the script's own directory (sys.path[0]
+# under ``python tools/profile.py``) before touching cProfile so the
+# stdlib module wins, then put the library source on the path.
+_here = str(pathlib.Path(__file__).resolve().parent)
+sys.path = [entry for entry in sys.path
+            if str(pathlib.Path(entry or ".").resolve()) != _here]
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+import argparse   # noqa: E402
+import cProfile   # noqa: E402
+import pstats     # noqa: E402
+
+from repro import OpenMLDB                              # noqa: E402
+from repro.online.engine import OnlineEngine            # noqa: E402
+from repro.workloads.microbench import (MicroBenchConfig,  # noqa: E402
+                                        build_feature_sql, generate)
+
+CONFIG = MicroBenchConfig(keys=120, rows_per_key=100, windows=2,
+                          joins=1, union_tables=2, value_columns=3,
+                          seed=17)
+
+
+def build_workload():
+    data = generate(CONFIG, request_count=160)
+    sql = build_feature_sql(CONFIG)
+    db = OpenMLDB()
+    for name, schema in data.schemas.items():
+        db.create_table(name, schema, indexes=data.indexes[name])
+    for name, rows in data.rows.items():
+        db.insert_many(name, rows)
+    db.deploy("bench", sql)
+    db.replicator.wait_idle(timeout=10.0)
+    return db, data.requests
+
+
+def make_operation(db, path):
+    deployment = db.deployments["bench"]
+    compiled = deployment.compiled
+    if path == "incremental":
+        return lambda row: db.request_row("bench", row)
+    if path == "fused":
+        return lambda row: db.online_engine.execute_request(compiled, row)
+    naive = OnlineEngine(db.tables, fused_fold=False, block_scan=False)
+    return lambda row: naive.execute_request(compiled, row)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="cProfile the online request path")
+    parser.add_argument("--path", default="incremental",
+                        choices=("incremental", "fused", "naive"),
+                        help="execution tier to profile")
+    parser.add_argument("--rounds", type=int, default=400,
+                        help="request count to profile (cycled)")
+    parser.add_argument("--top", type=int, default=15,
+                        help="rows to print per ranking")
+    args = parser.parse_args(argv)
+
+    db, requests = build_workload()
+    operation = make_operation(db, args.path)
+    for row in requests[:20]:  # warm caches outside the profile
+        operation(row)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for index in range(args.rounds):
+        operation(requests[index % len(requests)])
+    profiler.disable()
+    db.close()
+
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs()
+    print(f"\n=== {args.path} tier, {args.rounds} requests — "
+          "by cumulative time ===")
+    stats.sort_stats("cumulative").print_stats(args.top)
+    print(f"=== {args.path} tier — by self time ===")
+    stats.sort_stats("tottime").print_stats(args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
