@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint verify verify-docs bench bench-smoke examples profile
+.PHONY: test lint verify verify-docs bench bench-smoke recover-smoke \
+	examples profile
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -16,7 +17,7 @@ lint:
 		$(PYTHON) tools/lint.py src tests benchmarks; \
 	fi
 
-verify: lint test bench-smoke
+verify: lint test recover-smoke bench-smoke
 
 # Extract and execute every fenced python block in README.md and
 # docs/*.md — documentation code must actually run.
@@ -30,6 +31,12 @@ bench:
 # regression (or a broken benchmark harness) without the full sweep.
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/test_fig_serving_throughput.py -q
+
+# Crash/restart round trip: a tablet dies losing its memory, restarts
+# from snapshot + binlog-tail replay, and must lose no acknowledged
+# write.  Cheap enough to gate every verify run.
+recover-smoke:
+	$(PYTHON) -m pytest tests/test_crash_recovery.py -q -k smoke
 
 examples:
 	for script in examples/*.py; do $(PYTHON) $$script || exit 1; done

@@ -31,6 +31,7 @@ from typing import Dict, Optional, Set, TYPE_CHECKING
 from ..errors import RpcTimeoutError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..storage.persist import RecoveryReport
     from .nameserver import NameServer
 
 __all__ = ["FaultInjector"]
@@ -64,6 +65,26 @@ class FaultInjector:
         """
         self.heal(tablet_name)
         return self._cluster.reintegrate(tablet_name)
+
+    def crash_restart(self, tablet_name: str) -> "RecoveryReport":
+        """Full crash/restart round trip with real memory loss.
+
+        Unlike :meth:`kill`/:meth:`revive` (where the dead tablet's
+        stores survive in the simulation's process memory), this
+        scenario wipes the tablet's in-memory state entirely — what an
+        actual process crash does — fails its led shards over, then
+        restarts it from its snapshot images plus the durable binlog
+        tail via :meth:`NameServer.restart_tablet`.  Returns that
+        restart's :class:`~repro.storage.persist.RecoveryReport`.
+        """
+        cluster = self._cluster
+        tablet = cluster.tablets[tablet_name]
+        tablet.fail()
+        tablet.wipe()
+        if cluster.auto_failover:
+            cluster.handle_failure(tablet_name)
+        self.heal(tablet_name)
+        return cluster.restart_tablet(tablet_name)
 
     def partition(self, tablet_name: str) -> None:
         """Network-partition a tablet: up, but unreachable."""

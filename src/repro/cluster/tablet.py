@@ -31,6 +31,7 @@ from ..obs import NULL_OBS, Observability
 from ..schema import IndexDef, Row, Schema
 from ..serving.deadline import current_deadline
 from ..storage.memtable import MemTable
+from ..storage.persist import SnapshotStore
 
 __all__ = ["Shard", "TabletServer"]
 
@@ -71,7 +72,13 @@ class TabletServer:
         self._lock = threading.Lock()
         self.alive = True
         self.faults = None  # set via NameServer.attach_faults
+        self.snapshots: Optional[SnapshotStore] = None
         self.bind_obs(obs or NULL_OBS)
+
+    def attach_snapshots(self, store: SnapshotStore) -> None:
+        """Give this tablet a durable snapshot directory (the nameserver
+        wires one per tablet when built with ``data_dir``)."""
+        self.snapshots = store
 
     def bind_obs(self, obs: Observability) -> None:
         """(Re)attach observability — the nameserver calls this on join."""
@@ -296,6 +303,86 @@ class TabletServer:
         """Restart after a crash.  Rejoining a cluster should go through
         :meth:`NameServer.reintegrate` so hosted shards catch up."""
         self.alive = True
+
+    # ------------------------------------------------------------------
+    # durability: snapshots and crash-restart
+
+    def _snapshot_name(self, table: str, partition_id: int) -> str:
+        return f"{table}-p{partition_id}"
+
+    def snapshot_shard(self, table: str, partition_id: int) -> int:
+        """Write one shard's snapshot image; returns rows written.
+
+        The image pins the shard's rows to its ``applied_offset``, so
+        restart replays only the binlog frames past it.
+        """
+        if self.snapshots is None:
+            raise StorageError(f"{self.name} has no snapshot store")
+        shard = self.shard(table, partition_id)
+        codec = shard.store.codec
+        payloads = [codec.encode(row) for row in shard.store.rows()]
+        self.snapshots.write(self._snapshot_name(table, partition_id),
+                             payloads, shard.applied_offset)
+        return len(payloads)
+
+    def snapshot_shards(self) -> int:
+        """Snapshot every hosted shard; returns total rows written."""
+        return sum(self.snapshot_shard(shard.table, shard.partition_id)
+                   for shard in self.shards())
+
+    def wipe(self) -> None:
+        """Lose all in-memory state — the process-death half of a crash.
+
+        Every shard keeps its hosting slot but drops to an empty store
+        at ``applied_offset = -1``; :meth:`restart` rebuilds from the
+        snapshot store and the nameserver replays the binlog tail.
+        """
+        with self._lock:
+            for shard in self._shards.values():
+                self.governor.release(shard.store.memory_bytes)
+                old = shard.store
+                shard.store = MemTable(old.name, old.schema, old.indexes,
+                                       replicas=old.replicas,
+                                       obs=self._obs)
+                shard.applied_offset = -1
+
+    def restart(self) -> int:
+        """Cold-start a crashed tablet from its snapshot images.
+
+        Every hosted shard loads its newest intact snapshot (if any) and
+        resumes at that image's ``applied_offset``; the caller — see
+        :meth:`NameServer.restart_tablet` — then replays the per-
+        partition binlog tail so the shard catches up to the
+        acknowledged prefix.  Returns the number of snapshot rows
+        loaded.
+
+        Raises:
+            StorageError: the tablet is still alive (a restart models a
+                dead process coming back, not a live one resetting).
+        """
+        if self.alive:
+            raise StorageError(
+                f"{self.name} is alive; restart() models a crashed "
+                f"process coming back")
+        self.wipe()
+        loaded = 0
+        if self.snapshots is not None:
+            with self._lock:
+                for shard in self._shards.values():
+                    snapshot = self.snapshots.load_latest(
+                        self._snapshot_name(shard.table,
+                                            shard.partition_id))
+                    if snapshot is None:
+                        continue
+                    codec = shard.store.codec
+                    for payload in snapshot.rows:
+                        row = codec.decode(payload)
+                        self.governor.charge(codec.encoded_size(row))
+                        shard.store.insert(row)
+                    shard.applied_offset = snapshot.applied_offset
+                    loaded += len(snapshot.rows)
+        self.alive = True
+        return loaded
 
     def promote(self, table: str, partition_id: int) -> None:
         self.shard(table, partition_id).is_leader = True

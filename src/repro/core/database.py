@@ -19,22 +19,25 @@ architecture diagram (Figure 2) does:
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from typing import (Any, Callable, Dict, List, Optional, Sequence,
                     Tuple, Union)
 
 from ..errors import (DeploymentError, DeploymentNotFoundError, ParseError,
-                      PlanError, SchemaError, TableExistsError,
-                      TableNotFoundError)
+                      PlanError, SchemaError, StorageError,
+                      TableExistsError, TableNotFoundError)
 from ..schema import Column, IndexDef, Row, Schema, TTLKind, TTLSpec
 from ..sql import ast
 from ..sql.compiler import CompilationCache
 from ..sql.parser import parse
 from ..sql.planner import build_plan
 from ..storage.disk import DiskTable
+from ..storage.encoding import RowCodec
 from ..storage.memtable import MemTable
-from ..online.binlog import Replicator
+from ..storage.persist import FileBinlog, RecoveryReport, SnapshotStore
+from ..online.binlog import BinlogEntry, Replicator
 from ..online.engine import OnlineEngine
 from ..offline.engine import OfflineEngine, OfflineStats
 from ..offline.skew import SkewConfig
@@ -60,15 +63,36 @@ class OpenMLDB:
         observability: collect metrics and per-request trace spans
             (see :mod:`repro.obs`).  Off by default — the disabled
             path adds nothing measurable to the request path.
+        data_dir: root directory for durability.  When set, inserts
+            write through a file-backed binlog, :meth:`snapshot` pins
+            table images, and a fresh instance over the same directory
+            rebuilds everything — tables, pre-aggregation buckets,
+            incremental window state — via :meth:`recover`.
+        snapshot_retain: snapshot images kept per table before pruning.
     """
 
     def __init__(self, offline_workers: int = 8,
                  max_memory_mb: Optional[int] = None,
-                 seed: int = 0, observability: bool = False) -> None:
+                 seed: int = 0, observability: bool = False,
+                 data_dir: Optional[str] = None,
+                 snapshot_retain: int = 2) -> None:
         self.obs = Observability(enabled=True) if observability \
             else NULL_OBS
         self.tables: Dict[str, Union[MemTable, DiskTable]] = {}
         self.replicator = Replicator()
+        self.data_dir = data_dir
+        self._snapshots: Optional[SnapshotStore] = None
+        self._recovering = False
+        if data_dir is not None:
+            # Durability (Section 5 / 7.3): every insert's binlog entry
+            # is written through to a segmented file WAL; snapshot()
+            # pins table images; recover() rebuilds a fresh instance
+            # from snapshot + binlog tail.
+            self.replicator.attach_wal(FileBinlog(
+                os.path.join(data_dir, "binlog"), obs=self.obs))
+            self._snapshots = SnapshotStore(
+                os.path.join(data_dir, "snapshots"),
+                retain=snapshot_retain, obs=self.obs)
         self.compile_cache = CompilationCache(obs=self.obs)
         self.deployments: Dict[str, Deployment] = {}
         self.online_engine = OnlineEngine(self.tables, obs=self.obs)
@@ -113,7 +137,22 @@ class OpenMLDB:
         else:
             raise SchemaError(f"unknown storage engine {storage!r}")
         self.tables[name] = table
+        if self.data_dir is not None:
+            self.replicator.register_codec(name, RowCodec(schema))
+            if isinstance(table, DiskTable):
+                table.attach_event_log(self._storage_event_sink(name))
         return table
+
+    def _storage_event_sink(self, table_name: str) -> Callable[[str], None]:
+        """WAL control-frame sink for explicit LSM flush/compact events.
+
+        Suppressed while :meth:`recover` replays those very events —
+        re-applying a flush must not re-log it.
+        """
+        def sink(text: str) -> None:
+            if not self._recovering:
+                self.replicator.log_control(table_name, text)
+        return sink
 
     @staticmethod
     def _default_index(schema: Schema) -> IndexDef:
@@ -398,6 +437,143 @@ class OpenMLDB:
 
     # ------------------------------------------------------------------
     # maintenance / recovery
+
+    def snapshot(self) -> int:
+        """Write one snapshot image per table; returns rows written.
+
+        Pending aggregator closures are drained first and the binlog is
+        fsync'd after, so "newest snapshot + binlog tail" is a complete
+        recovery contract at the returned point.  Call from a quiesced
+        maintenance context (no concurrent inserts), as the paper's
+        snapshot thread does between low-traffic windows.
+        """
+        if self._snapshots is None:
+            raise StorageError(
+                "snapshot() requires OpenMLDB(data_dir=...)")
+        self.replicator.wait_idle(timeout=10.0)
+        offset = self.replicator.last_offset
+        rows = 0
+        for name, table in self.tables.items():
+            codec = RowCodec(table.schema)
+            payloads = [codec.encode(row) for row in table.rows()]
+            manifest = table.manifest() if isinstance(table, DiskTable) \
+                else {}
+            self._snapshots.write(name, payloads, offset,
+                                  manifest=manifest)
+            rows += len(payloads)
+        self.replicator.sync()
+        return rows
+
+    def recover(self) -> RecoveryReport:
+        """Crash recovery: rebuild state from snapshots + binlog tail.
+
+        Call on a **fresh** instance pointed at the crashed instance's
+        ``data_dir``, after re-running DDL and deployments (catalog
+        metadata is assumed durable elsewhere, as ZooKeeper keeps it for
+        production OpenMLDB).  Per table: load the newest intact
+        snapshot, then replay the durable binlog frames past its pinned
+        offset.  Every recovered row also runs through the registered
+        ingest updaters — the same ``IngestConsumer`` path the
+        replicator worker drives — so pre-aggregation buckets and
+        incremental window state rebuild to the exact pre-crash answers.
+        Explicit LSM flush/compact control frames re-apply in stream
+        order, reconstructing disk tables' SST layout.
+        """
+        wal = self.replicator.wal
+        if wal is None or self._snapshots is None:
+            raise StorageError(
+                "recover() requires OpenMLDB(data_dir=...)")
+        for name, table in self.tables.items():
+            if table.row_count:
+                raise StorageError(
+                    f"recover() requires empty tables; {name!r} already "
+                    f"holds {table.row_count} row(s)")
+        start = time.perf_counter()
+        report = RecoveryReport(node="db")
+        span = self.obs.tracer.span("recovery.restart", node="db")
+        with span:
+            # Rebuild the in-memory binlog first so post-recovery
+            # inserts continue the durable offset sequence.
+            self.replicator.restore()
+            self._recovering = True
+            try:
+                codecs: Dict[str, RowCodec] = {
+                    name: RowCodec(table.schema)
+                    for name, table in self.tables.items()}
+                snap_offsets: Dict[str, int] = {}
+                for name, table in self.tables.items():
+                    snapshot = self._snapshots.load_latest(name)
+                    if snapshot is None:
+                        continue
+                    for payload in snapshot.rows:
+                        self._apply_recovered(
+                            name, table, codecs[name].decode(payload),
+                            snapshot.applied_offset)
+                    snap_offsets[name] = snapshot.applied_offset
+                    report.snapshot_rows += len(snapshot.rows)
+                    if isinstance(table, DiskTable) \
+                            and snapshot.manifest.get("flushes"):
+                        # The image's rows had (partly) been flushed to
+                        # SSTs pre-crash; rebuild that residence so the
+                        # memtable only holds the post-snapshot tail.
+                        table.flush()
+                for frame in wal.replay(0):
+                    if frame.offset <= snap_offsets.get(frame.table, -1):
+                        continue
+                    table = self.tables.get(frame.table)
+                    if table is None:
+                        continue
+                    if frame.is_row:
+                        self._apply_recovered(
+                            frame.table, table,
+                            codecs[frame.table].decode(frame.payload),
+                            frame.offset)
+                        report.replayed_entries += 1
+                    else:
+                        self._apply_storage_event(table,
+                                                  frame.control_text())
+            finally:
+                self._recovering = False
+            for name in self.tables:
+                report.applied_offsets[(name, 0)] = \
+                    self.replicator.last_offset
+        report.seconds = time.perf_counter() - start
+        registry = self.obs.registry
+        registry.counter("storage.recovery.restarts").inc()
+        registry.counter("storage.recovery.replayed").inc(
+            report.replayed_entries)
+        registry.counter("storage.recovery.snapshot_rows").inc(
+            report.snapshot_rows)
+        registry.histogram("storage.recovery.ms").observe(
+            report.seconds * 1_000.0)
+        return report
+
+    def _apply_recovered(self, name: str,
+                         table: Union[MemTable, DiskTable],
+                         row: Row, offset: int) -> None:
+        """Re-apply one recovered row: storage, memory accounting, and
+        the registered ingest updaters (synchronously — recovery is
+        single-threaded, so offset order is the apply order)."""
+        validated = table.schema.validate_row(row)
+        self.governor.charge(table.codec.encoded_size(validated)
+                             if isinstance(table, MemTable)
+                             else _approx_row_bytes(validated))
+        table.insert(validated)
+        updaters = self._updaters.get(name)
+        if updaters:
+            entry = BinlogEntry(offset=offset, table=name, row=validated)
+            for fn in updaters:
+                fn(entry)
+
+    @staticmethod
+    def _apply_storage_event(table: Union[MemTable, DiskTable],
+                             text: str) -> None:
+        if not isinstance(table, DiskTable):
+            return
+        if text == "flush":
+            table.flush()
+        elif text.startswith("compact:"):
+            table.compact(int(text.split(":", 1)[1]))
 
     def recover_table(self, name: str) -> int:
         """Rebuild a table's online structures by replaying the binlog.

@@ -19,7 +19,14 @@ from __future__ import annotations
 import dataclasses
 import queue
 import threading
-from typing import Any, Callable, Iterable, List, Optional, Tuple
+from typing import (Any, Callable, Dict, Iterable, List, Optional,
+                    TYPE_CHECKING, Tuple)
+
+from ..errors import StorageError
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from ..storage.encoding import RowCodec
+    from ..storage.persist import FileBinlog
 
 __all__ = ["BinlogEntry", "IngestConsumer", "Replicator"]
 
@@ -73,7 +80,7 @@ class Replicator:
     recorded on :attr:`failures` and surfaced by :meth:`check`).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, wal: Optional["FileBinlog"] = None) -> None:
         self._entries: List[BinlogEntry] = []
         self._lock = threading.Lock()
         self._queue: "queue.Queue[Optional[Tuple[BinlogEntry, Callable]]]" \
@@ -82,6 +89,62 @@ class Replicator:
         self._pending = 0
         self._pending_cond = threading.Condition()
         self.failures: List[Tuple[int, BaseException]] = []
+        self._wal = wal
+        self._codecs: Dict[str, "RowCodec"] = {}
+
+    # ------------------------------------------------------------------
+    # durability wiring
+
+    @property
+    def wal(self) -> Optional["FileBinlog"]:
+        return self._wal
+
+    def attach_wal(self, wal: "FileBinlog") -> None:
+        """Back this binlog with a file WAL: every appended entry is
+        also written as a durable frame (via the table's registered
+        codec) and survives the process."""
+        self._wal = wal
+
+    def register_codec(self, table: str, codec: "RowCodec") -> None:
+        """Register the row codec used to (de)serialise one table's
+        entries into WAL frames."""
+        self._codecs[table] = codec
+
+    def restore(self) -> int:
+        """Rebuild the in-memory entry list from the attached WAL.
+
+        Called once after codecs are registered, before new appends: the
+        entry list must be empty and the WAL's row frames contiguous
+        from offset 0.  Returns the number of entries restored.
+        """
+        if self._wal is None:
+            return 0
+        with self._lock:
+            if self._entries:
+                raise StorageError(
+                    "restore() requires an empty binlog (restore before "
+                    "appending)")
+            for frame in self._wal.replay(0):
+                if not frame.is_row:
+                    continue
+                codec = self._codecs.get(frame.table)
+                if codec is None:
+                    raise StorageError(
+                        f"no codec registered for WAL table "
+                        f"{frame.table!r}")
+                if frame.offset != len(self._entries):
+                    raise StorageError(
+                        f"WAL row frames not contiguous: expected offset "
+                        f"{len(self._entries)}, found {frame.offset}")
+                self._entries.append(BinlogEntry(
+                    offset=frame.offset, table=frame.table,
+                    row=codec.decode(frame.payload)))
+            return len(self._entries)
+
+    def sync(self) -> None:
+        """Force the WAL's buffered frames to disk (durability barrier)."""
+        if self._wal is not None:
+            self._wal.sync()
 
     # ------------------------------------------------------------------
 
@@ -92,12 +155,19 @@ class Replicator:
 
         Returns the entry's binlog offset.  The append itself is protected
         by the replicator lock; closure execution happens later, on the
-        worker thread, in offset order.
+        worker thread, in offset order.  With a WAL attached, the entry
+        is written through to disk before the append returns (fsync'd in
+        batches — see :class:`~repro.storage.persist.FileBinlog`).
         """
         with self._lock:
             offset = len(self._entries)
             entry = BinlogEntry(offset=offset, table=table, row=tuple(row))
             self._entries.append(entry)
+            if self._wal is not None:
+                codec = self._codecs.get(table)
+                if codec is not None:
+                    self._wal.append(offset, table, codec.encode(
+                        codec.schema.validate_row(entry.row)))
         if closure is not None:
             self._ensure_worker()
             with self._pending_cond:
@@ -179,7 +249,35 @@ class Replicator:
             handler(entry)
         return len(entries)
 
-    def close(self) -> None:
+    def log_control(self, table: str, text: str) -> None:
+        """Write a control frame (storage event) to the WAL, if attached.
+
+        Control frames do not consume binlog offsets; they carry the
+        current ``last_offset`` so replay can order them against row
+        frames and skip those a snapshot already covers.
+        """
+        if self._wal is None:
+            return
+        from ..storage.persist import FRAME_CONTROL
+        with self._lock:
+            self._wal.append(len(self._entries) - 1, table,
+                             text.encode("utf-8"), kind=FRAME_CONTROL)
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop the worker after draining queued closures.
+
+        Raises:
+            StorageError: the worker failed to drain within ``timeout``
+                seconds — queued aggregator updates would be silently
+                abandoned, so the condition is surfaced instead of
+                ignored.
+        """
         if self._worker is not None and self._worker.is_alive():
             self._queue.put(None)
-            self._worker.join(timeout=5)
+            self._worker.join(timeout=timeout)
+            if self._worker.is_alive():
+                raise StorageError(
+                    f"replicator worker did not drain within {timeout:g}s "
+                    f"({self.pending} closure(s) still pending)")
+        if self._wal is not None:
+            self._wal.close()

@@ -37,7 +37,7 @@ from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..errors import DeadlineExceededError, OverloadError
+from ..errors import DeadlineExceededError, OpenMLDBError, OverloadError
 from ..obs import NULL_OBS, Observability
 from .admission import PRIORITIES, AdmissionController, Ticket
 from .batcher import BatchPolicy, WorkerPool
@@ -235,7 +235,11 @@ class FrontendServer:
                     with deadline_scope(ticket.deadline):
                         outcomes.append(
                             self._backend.request(name, ticket.row))
-                except Exception as exc:
+                except OpenMLDBError as exc:
+                    # Only typed engine/storage/deadline failures become
+                    # per-row outcomes — matching request_batch.
+                    # Programming errors propagate (and fail the batch
+                    # loudly) instead of masquerading as request results.
                     outcomes.append(exc)
         for ticket, outcome in zip(live, outcomes):
             if isinstance(outcome, DeadlineExceededError):

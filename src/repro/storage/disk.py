@@ -66,16 +66,24 @@ class BloomFilter:
                    for position in self._positions(key))
 
 # Composite-key entries: (key, -ts, sequence, row).  Negating ts makes the
-# natural tuple sort order "key asc, ts desc"; the sequence number breaks
-# ties so later writes win.
+# natural sort order "key asc, ts desc"; the sequence slot breaks
+# (key, ts) ties and sorts *ascending = newest insert first* (flushes
+# stamp it per insert, counting down — see DiskTable._flush_locked), so
+# scans yield duplicates newest-first and compaction's per-key rank is
+# 1 at the newest entry.  Entries must never be compared whole: the row
+# payload can hold None or mixed types, which do not order.
 _Entry = Tuple[Any, int, int, Row]
+
+
+def _entry_sort_key(entry: _Entry) -> Tuple[Any, int, int]:
+    return (entry[0], entry[1], entry[2])
 
 
 class SSTable:
     """An immutable sorted run of composite-key entries."""
 
     def __init__(self, entries: Sequence[_Entry], level: int = 0) -> None:
-        self._entries: List[_Entry] = sorted(entries)
+        self._entries: List[_Entry] = sorted(entries, key=_entry_sort_key)
         self._keys = [entry[0] for entry in self._entries]
         self.level = level
         self.bloom = BloomFilter(sorted({entry[0]
@@ -139,11 +147,15 @@ class ColumnFamily:
 
         Returns the number of entries evicted.  Eviction happens *during*
         compaction by parsing the composite keys, as the paper describes.
+        The merged sort places each key's entries newest-first (ts
+        descending, then per-insert sequence), so ``per_key_seen`` ranks
+        the newest entry 1 and LATEST-TTL eviction drops the *oldest*
+        duplicates — the same order :meth:`MemTable.evict_expired` keeps.
         """
         merged: List[_Entry] = []
         for sstable in self.sstables:
             merged.extend(sstable.entries())
-        merged.sort()
+        merged.sort(key=_entry_sort_key)
         kept: List[_Entry] = []
         spec = self.index.ttl
         horizon = (now_ts - spec.abs_ttl_ms) if spec.abs_ttl_ms else None
@@ -219,9 +231,21 @@ class DiskTable:
         self._sequence = 0
         self._log: List[Row] = []
         self._lock = threading.Lock()
+        self._event_log: Optional[Any] = None
         self.disk_reads = 0
         self.bloom_skips = 0
         self.flushes = 0
+
+    def attach_event_log(self, sink: Any) -> None:
+        """Log explicit storage events (flush/compact) to ``sink(text)``.
+
+        With durability on, the database wires this to a WAL control
+        frame so recovery can re-apply explicit flushes and compactions
+        in stream order and rebuild the exact SST layout.  Automatic
+        threshold flushes are *not* logged: they are deterministic from
+        row replay.
+        """
+        self._event_log = sink
 
     # ------------------------------------------------------------------
     # write path
@@ -247,6 +271,8 @@ class DiskTable:
         """Force the shared memtable out to one SST per column family."""
         with self._lock:
             self._flush_locked()
+        if self._event_log is not None:
+            self._event_log("flush")
 
     def _flush_locked(self) -> None:
         if self._since_flush == 0:
@@ -254,9 +280,16 @@ class DiskTable:
         for index in self.indexes:
             structure = self._memtable.structure(index.name)
             entries: List[_Entry] = []
-            sequence = self._sequence
-            for key, ts, row in structure.scan_all():
-                entries.append((key, -ts, sequence, row))
+            # Per-insert sequence stamps, newest = smallest.  scan_all()
+            # yields ties newest-arrival-first, so position-within-scan
+            # orders duplicates; subtracting the global insert count makes
+            # every stamp of a *later* flush smaller than every stamp of
+            # an earlier one.  Ascending sequence therefore sorts
+            # duplicate (key, ts) entries newest-first across flushes —
+            # the order LATEST-TTL ranking and merged reads rely on.
+            base = self._sequence
+            for position, (key, ts, row) in enumerate(structure.scan_all()):
+                entries.append((key, -ts, position - base, row))
             if entries:
                 self._families[index.name].add_sstable(SSTable(entries))
         self._memtable = MemTable(self.name, self.schema, self.indexes,
@@ -270,6 +303,8 @@ class DiskTable:
         with self._lock:
             evicted = sum(family.compact(now_ts)
                           for family in self._families.values())
+        if self._event_log is not None:
+            self._event_log(f"compact:{now_ts}")
         self._m_compactions.inc(len(self._families))
         if evicted:
             self._m_compaction_evicted.inc(evicted)
@@ -363,6 +398,18 @@ class DiskTable:
     def sstable_count(self) -> int:
         return sum(len(family.sstables)
                    for family in self._families.values())
+
+    def manifest(self) -> Dict[str, Any]:
+        """SST-layout bookkeeping recorded in snapshot images."""
+        with self._lock:
+            return {
+                "flushes": self.flushes,
+                "sequence": self._sequence,
+                "sstables": {name: len(family.sstables)
+                             for name, family in self._families.items()},
+                "compactions": {name: family.compactions
+                                for name, family in self._families.items()},
+            }
 
 
 def _merge_desc(left: Iterator[Tuple[int, Row]],

@@ -2,8 +2,9 @@
 
 import pytest
 
-from repro.schema import IndexDef, TTLKind, TTLSpec
+from repro.schema import IndexDef, Schema, TTLKind, TTLSpec
 from repro.storage.disk import ColumnFamily, DiskTable, SSTable
+from repro.storage.memtable import MemTable
 
 
 @pytest.fixture
@@ -111,6 +112,73 @@ class TestDiskTable:
         before = disk_table.disk_reads
         list(disk_table.window_scan(("key",), "ts", "a"))
         assert disk_table.disk_reads > before
+
+    def test_compact_handles_duplicate_keys_with_none_columns(
+            self, events_schema):
+        """Regression: compaction must never compare row payloads.
+
+        Duplicate ``(key, ts)`` rows across flushes used to fall through
+        to tuple comparison of the row itself; rows carrying ``None``
+        next to strings then raised ``TypeError`` mid-compaction.
+        """
+        table = DiskTable("t", events_schema,
+                          [IndexDef(("key",), "ts")], flush_threshold=100)
+        table.insert(("a", 10, None, None))
+        table.insert(("a", 10, 1.5, "x"))
+        table.flush()
+        table.insert(("a", 10, None, "y"))
+        table.insert(("a", 10, 2.5, None))
+        table.flush()
+        table.compact(now_ts=1_000)  # must not raise
+        scanned = list(table.window_scan(("key",), "ts", "a"))
+        assert len(scanned) == 4
+        assert all(ts == 10 for ts, _ in scanned)
+
+    def test_latest_ttl_ranks_newest_first_across_flushes(self):
+        """Regression: LATEST-TTL compaction evicted the *newest* dups.
+
+        Entries used to share one per-flush sequence stamp, so rows of
+        one flush tied and an older flush's duplicates could outrank a
+        newer flush's.  Rank order must match the memtable's eviction
+        order: newest insert first, per key.
+        """
+        schema = Schema.from_pairs([
+            ("key", "string"), ("ts", "timestamp"), ("v", "string")])
+        ttl = TTLSpec(kind=TTLKind.LATEST, lat_ttl=2)
+        indexes = [IndexDef(("key",), "ts", ttl=ttl)]
+        rows = [("a", 10, "first"), ("a", 10, "second"),
+                ("a", 20, "mid"), ("a", 10, "third")]
+
+        mem = MemTable("m", schema, indexes)
+        for row in rows:
+            mem.insert(row)
+        mem.evict_expired(now_ts=100)
+        expected = list(mem.window_scan(("key",), "ts", "a"))
+        assert [row[2] for _, row in expected] == ["mid", "third"]
+
+        disk = DiskTable("d", schema, indexes, flush_threshold=100)
+        for row in rows[:2]:
+            disk.insert(row)
+        disk.flush()
+        for row in rows[2:]:
+            disk.insert(row)
+        disk.flush()
+        disk.compact(now_ts=100)
+        assert list(disk.window_scan(("key",), "ts", "a")) == expected
+
+    def test_latest_ttl_within_one_flush_keeps_insertion_rank(self):
+        schema = Schema.from_pairs([
+            ("key", "string"), ("ts", "timestamp"), ("v", "string")])
+        ttl = TTLSpec(kind=TTLKind.LATEST, lat_ttl=1)
+        table = DiskTable("d", schema, [IndexDef(("key",), "ts", ttl=ttl)],
+                          flush_threshold=100)
+        table.insert(("a", 10, "old"))
+        table.insert(("a", 10, "new"))
+        table.flush()
+        table.compact(now_ts=100)
+        survivors = [row for _, row in table.window_scan(
+            ("key",), "ts", "a")]
+        assert survivors == [("a", 10, "new")]
 
     def test_shared_memtable_across_column_families(self, events_schema):
         table = DiskTable("t", events_schema, [

@@ -21,6 +21,13 @@ reliably:
   the loop body re-creates a closure object per iteration.  Compile-time
   lambdas (built once, outside any loop — e.g. in ``_compile_binding``)
   are fine and not flagged.
+* **THR001** — a class under ``src/`` constructs a
+  ``threading.Thread(daemon=True)`` but has no paired lifecycle: a
+  ``close``/``stop``/``shutdown``/``drain`` method that ``join()``\\ s
+  the worker.  Daemon threads die silently at interpreter exit; without
+  an explicit drain, work queued to them (e.g. binlog closures) is
+  abandoned.  Tests and benchmarks may spawn throwaway threads, so the
+  rule is scoped to library code.
 
 Usage: ``python tools/lint.py PATH [PATH ...]`` — paths are files or
 directories (searched recursively for ``*.py``).  Exits non-zero when
@@ -32,7 +39,7 @@ from __future__ import annotations
 import ast
 import pathlib
 import sys
-from typing import Iterator, List, Set, Tuple
+from typing import Iterator, List, Optional, Set, Tuple
 
 Finding = Tuple[str, int, int, str, str]
 
@@ -222,6 +229,56 @@ def check_loop_lambda_alloc(path: pathlib.Path,
                            "out of the per-row loop")
 
 
+_CLOSER_NAMES = {"close", "stop", "shutdown", "drain"}
+
+
+def _is_daemon_thread_call(node: ast.Call) -> bool:
+    func = node.func
+    is_thread = (isinstance(func, ast.Attribute) and func.attr == "Thread") \
+        or (isinstance(func, ast.Name) and func.id == "Thread")
+    if not is_thread:
+        return False
+    return any(keyword.arg == "daemon"
+               and isinstance(keyword.value, ast.Constant)
+               and keyword.value.value is True
+               for keyword in node.keywords)
+
+
+def check_daemon_thread_lifecycle(path: pathlib.Path,
+                                  tree: ast.Module) -> Iterator[Finding]:
+    """THR001 — daemon thread with no close()/join() pairing (src only).
+
+    A class that spawns a ``threading.Thread(daemon=True)`` must also
+    define a ``close``/``stop``/``shutdown``/``drain`` method and
+    ``join()`` the worker somewhere, or queued work silently dies with
+    the interpreter.
+    """
+    if "src" not in path.parts:
+        return
+    for klass in ast.walk(tree):
+        if not isinstance(klass, ast.ClassDef):
+            continue
+        spawn: Optional[ast.Call] = None
+        has_join = False
+        for node in ast.walk(klass):
+            if not isinstance(node, ast.Call):
+                continue
+            if spawn is None and _is_daemon_thread_call(node):
+                spawn = node
+            if isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "join":
+                has_join = True
+        has_closer = any(
+            isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and stmt.name in _CLOSER_NAMES
+            for stmt in klass.body)
+        if spawn is not None and not (has_join and has_closer):
+            yield (str(path), spawn.lineno, spawn.col_offset + 1,
+                   "THR001",
+                   f"class {klass.name!r} spawns a daemon thread but has "
+                   "no close()/stop() method that join()s it")
+
+
 def lint(paths: List[str]) -> List[Finding]:
     findings: List[Finding] = []
     for path in iter_python_files(paths):
@@ -234,7 +291,8 @@ def lint(paths: List[str]) -> List[Finding]:
             continue
         for checker in (check_unused_imports, check_bare_except,
                         check_singleton_compare, check_mutable_defaults,
-                        check_loop_lambda_alloc):
+                        check_loop_lambda_alloc,
+                        check_daemon_thread_lifecycle):
             findings.extend(checker(path, tree))
     return findings
 
