@@ -8,10 +8,13 @@ test:
 	$(PYTHON) -m pytest -x -q
 
 # Prefer ruff when the environment has it; otherwise fall back to the
-# stdlib AST linter (same rule family: F401/E722/E711/E712).
+# stdlib AST linter (same rule family: F401/E722/E711/E712).  The
+# DOC001 doc-reference sweep is not a ruff rule, so it runs in both
+# branches (tools/lint.py runs it implicitly alongside the AST rules).
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
-		ruff check src tests benchmarks; \
+		ruff check src tests benchmarks && \
+		$(PYTHON) tools/lint.py --docs; \
 	else \
 		echo "ruff not found; using tools/lint.py fallback"; \
 		$(PYTHON) tools/lint.py src tests benchmarks; \

@@ -20,13 +20,10 @@ Two closed-loop scenarios over the simulated cluster:
 
 from __future__ import annotations
 
-import threading
-import time
-
 import pytest
 
 from _util import record_bench
-from repro.bench import LatencyStats
+from repro.bench import LatencyStats, closed_loop
 from repro.cluster import FaultInjector, NameServer, TabletServer
 from repro.errors import OverloadError
 from repro.obs import Observability
@@ -60,38 +57,6 @@ def serving_cluster():
     cluster.close()
 
 
-def closed_loop(clients, iters, call):
-    """Run ``call(cid, i)`` from ``clients`` closed-loop threads.
-
-    Returns (wall_seconds, per-request latency seconds, errors).
-    """
-    started = threading.Barrier(clients)
-    latencies, errors = [], []
-    lock = threading.Lock()
-
-    def run(cid):
-        started.wait()
-        for i in range(iters):
-            begin = time.perf_counter()
-            try:
-                call(cid, i)
-            except Exception as exc:
-                with lock:
-                    errors.append(exc)
-                continue
-            with lock:
-                latencies.append(time.perf_counter() - begin)
-
-    threads = [threading.Thread(target=run, args=(cid,))
-               for cid in range(clients)]
-    wall_start = time.perf_counter()
-    for thread in threads:
-        thread.start()
-    for thread in threads:
-        thread.join(timeout=120)
-    return time.perf_counter() - wall_start, latencies, errors
-
-
 @pytest.mark.benchmark(group="fig_serving")
 def test_batched_frontend_beats_serial_throughput(benchmark,
                                                   serving_cluster):
@@ -101,21 +66,20 @@ def test_batched_frontend_beats_serial_throughput(benchmark,
 
     # Serial baseline: every client calls the cluster directly; every
     # request executes its own window scans.
-    serial_wall, _, serial_errors = closed_loop(
+    serial = closed_loop(
         CLIENTS, iters,
         lambda cid, i: cluster.request("feat", rows[i % HOT_ROWS]))
-    assert not serial_errors
+    assert not serial.errors
 
     with FrontendServer(cluster, obs=obs, max_queue=256, workers=2,
                         max_batch=8, max_wait_ms=1.0) as frontend:
-        front_wall, _, front_errors = closed_loop(
+        front = closed_loop(
             CLIENTS, iters,
             lambda cid, i: frontend.request("feat", rows[i % HOT_ROWS]))
-    assert not front_errors
+    assert not front.errors
 
-    total = CLIENTS * iters
-    serial_qps = total / serial_wall
-    front_qps = total / front_wall
+    serial_qps = serial.qps
+    front_qps = front.qps
     deduped = obs.registry.get("serving.dedup").value
     print(f"\nserving throughput: serial {serial_qps:,.0f} req/s, "
           f"frontend {front_qps:,.0f} req/s "
@@ -149,12 +113,12 @@ def test_shedding_bounds_tail_latency(benchmark, serving_cluster):
                                 max_batch=4, max_wait_ms=0,
                                 single_flight=False) as frontend:
                 # Unique rows: no dedup — pure queueing behaviour.
-                _, latencies, errors = closed_loop(
+                result = closed_loop(
                     CLIENTS, iters,
                     lambda cid, i: frontend.request(
                         "feat", (cid % HOT_ROWS,
                                  ANCHOR_TS + cid * 100 + i, 0.0)))
-            return latencies, errors
+            return result.latencies, result.errors
 
         queued_lat, queued_errors = run(max_queue=4_096,
                                         max_inflight=None)

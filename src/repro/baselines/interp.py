@@ -64,7 +64,7 @@ def interpret_expr(expr: ast.Expr, row: Mapping[str, Any]) -> Any:
         if expr.op == "/":
             return None if right == 0 else left / right
         if expr.op == "%":
-            return left % right
+            return None if right == 0 else left % right
         if expr.op == "=":
             return left == right
         if expr.op == "!=":

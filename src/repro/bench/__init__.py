@@ -1,6 +1,7 @@
 """Benchmark harness utilities (percentiles, throughput, printing)."""
 
-from .harness import (LatencyStats, measure_latencies, measure_throughput,
+from .harness import (ClosedLoopResult, LatencyStats, closed_loop,
+                      measure_latencies, measure_throughput,
                       print_series, print_stage_breakdown, print_table,
                       speedup, stage_breakdown)
 
@@ -8,4 +9,5 @@ __all__ = [
     "LatencyStats", "measure_latencies", "measure_throughput",
     "print_table", "print_series", "speedup",
     "stage_breakdown", "print_stage_breakdown",
+    "ClosedLoopResult", "closed_loop",
 ]

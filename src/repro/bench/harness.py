@@ -10,12 +10,15 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import threading
 import time
-from typing import Any, Callable, Dict, Iterable, List, Sequence
+from typing import (Any, Callable, Dict, Iterable, List, Optional,
+                    Sequence)
 
 __all__ = ["LatencyStats", "measure_latencies", "measure_throughput",
            "print_table", "print_series", "speedup",
-           "stage_breakdown", "print_stage_breakdown"]
+           "stage_breakdown", "print_stage_breakdown",
+           "ClosedLoopResult", "closed_loop"]
 
 _PERCENTILES = (50, 90, 95, 99, 99.9)
 
@@ -87,6 +90,88 @@ def measure_throughput(operation: Callable[[Any], Any],
     if elapsed <= 0:
         return float("inf")
     return len(items) / elapsed
+
+
+@dataclasses.dataclass
+class ClosedLoopResult:
+    """Outcome of one :func:`closed_loop` run."""
+
+    wall_seconds: float
+    latencies: List[float]          # per-success latency, seconds
+    errors: List[BaseException]     # exceptions raised by ``call``
+
+    @property
+    def completed(self) -> int:
+        return len(self.latencies)
+
+    @property
+    def qps(self) -> float:
+        if self.wall_seconds <= 0:
+            return float("inf")
+        return self.completed / self.wall_seconds
+
+    def stats(self) -> LatencyStats:
+        return LatencyStats.from_seconds(self.latencies)
+
+
+def closed_loop(clients: int, iters: int,
+                call: Callable[[Any, int], Any], *,
+                setup: Optional[Callable[[int], Any]] = None,
+                teardown: Optional[Callable[[Any], Any]] = None,
+                join_timeout: float = 120.0) -> ClosedLoopResult:
+    """Drive ``call`` from ``clients`` closed-loop threads.
+
+    Each thread issues ``iters`` sequential calls (the next one starts
+    when the previous returns — the serving benchmarks' load model).
+    All threads release from a barrier together, so the wall clock
+    measures steady concurrent load, not thread start-up skew.
+
+    The first argument to ``call(ctx, i)`` is the thread's context:
+    the client index by default, or whatever ``setup(cid)`` returned —
+    which is how the network benchmarks give each thread its own
+    connection (``setup=lambda cid: NetClient(host, port)``,
+    ``teardown=NetClient.close``).
+
+    A call that raises is recorded in ``errors`` and does not produce
+    a latency sample; the thread carries on.  Setup/teardown run
+    outside the timed region.
+    """
+    barrier = threading.Barrier(clients)
+    latencies: List[float] = []
+    errors: List[BaseException] = []
+    lock = threading.Lock()
+
+    def run(cid: int) -> None:
+        context: Any = cid
+        if setup is not None:
+            context = setup(cid)
+        try:
+            barrier.wait()
+            for index in range(iters):
+                begin = time.perf_counter()
+                try:
+                    call(context, index)
+                except Exception as exc:
+                    with lock:
+                        errors.append(exc)
+                    continue
+                elapsed = time.perf_counter() - begin
+                with lock:
+                    latencies.append(elapsed)
+        finally:
+            if teardown is not None:
+                teardown(context)
+
+    threads = [threading.Thread(target=run, args=(cid,), daemon=True)
+               for cid in range(clients)]
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=join_timeout)
+    return ClosedLoopResult(
+        wall_seconds=time.perf_counter() - wall_start,
+        latencies=latencies, errors=errors)
 
 
 def speedup(baseline_seconds: float, optimized_seconds: float) -> float:

@@ -1021,6 +1021,23 @@ class NameServer:
                 outcomes.append(outcome)
         return outcomes
 
+    def describe_deployment(self, name: str) -> "DeploymentDescriptor":
+        """Introspect a deployment for a serving frontend.
+
+        Returns the request-tuple schema (the primary table's) and the
+        feature column names — what a network frontend needs to coerce
+        wire parameters and describe result sets before executing.
+        """
+        from ..serving.describe import DeploymentDescriptor
+        try:
+            compiled = self._deployments[name]
+        except KeyError:
+            raise StorageError(f"unknown deployment {name!r}") from None
+        table = self.tables[compiled.plan.table]
+        return DeploymentDescriptor(
+            name=name, table=table.name, input_schema=table.schema,
+            output_names=tuple(compiled.output_names))
+
     def request_partition(self, name: str,
                           row: Sequence[Any]) -> Optional[int]:
         """Partition hint for micro-batch grouping.

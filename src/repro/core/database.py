@@ -336,6 +336,21 @@ class OpenMLDB:
                         .compiled.output_names,
                         self.request_row(deployment_name, row)))
 
+    def describe_deployment(self, name: str) -> "DeploymentDescriptor":
+        """Introspect a deployment for a serving frontend.
+
+        Returns the request-tuple schema (the primary table's) and the
+        feature column names — what a network frontend needs to coerce
+        wire parameters and describe result sets before executing.
+        """
+        from ..serving.describe import DeploymentDescriptor
+        compiled = self._deployment(name).compiled
+        table = self.tables[compiled.plan.table]
+        return DeploymentDescriptor(
+            name=name, table=compiled.plan.table,
+            input_schema=table.schema,
+            output_names=tuple(compiled.output_names))
+
     def request_row(self, deployment_name: str,
                     row: Sequence[Any]) -> Row:
         """Like :meth:`request`, returning the raw feature tuple."""

@@ -155,3 +155,14 @@ class DeadlineExceededError(ServingError):
     routed RPC's per-call timeout, so a request never retries past its
     own budget — it fails here instead of holding a worker hostage.
     """
+
+
+class ProtocolError(OpenMLDBError):
+    """Raised when a network peer violates the wire protocol.
+
+    Used by :mod:`repro.netserve` for malformed, truncated, or
+    oversized PostgreSQL-protocol frames.  Maps to SQLSTATE ``08P01``
+    (protocol_violation); the server reports it once and then closes
+    the connection, because a framing error leaves no safe
+    resynchronisation point mid-stream.
+    """

@@ -1,0 +1,444 @@
+"""PostgreSQL wire-protocol (v3) framing.
+
+Message *builders* (server→client and client→server) and *parsers*
+shared by the asyncio server (:mod:`repro.netserve.server`) and the
+bundled minimal client (:mod:`repro.netserve.client`).  Only the
+protocol subset the feature-serving surface needs is implemented:
+startup / trust auth, the simple query cycle, and the extended query
+cycle (Parse / Bind / Describe / Execute / Close / Flush / Sync), all
+values in **text format** plus binary format for the fixed-width
+parameter types psycopg prefers once it knows an OID.
+
+Docs: ``docs/network_protocol.md`` has the message-flow diagrams and
+the SQLSTATE mapping table rendered from :func:`sqlstate_for`.
+"""
+
+from __future__ import annotations
+
+import datetime
+import struct
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..errors import (DeadlineExceededError, DeploymentNotFoundError,
+                      LexError, MemoryLimitExceededError, OpenMLDBError,
+                      OverloadError, ParseError, PlanError, CompileError,
+                      ProtocolError, SchemaError, StaleReadError,
+                      StorageError, TableNotFoundError, TypeMismatchError)
+from ..types import ColumnType
+
+__all__ = [
+    "PROTOCOL_VERSION_3", "SSL_REQUEST_CODE", "CANCEL_REQUEST_CODE",
+    "GSSENC_REQUEST_CODE", "TYPE_OIDS", "TEXT_OID",
+    "sqlstate_for", "encode_text", "decode_parameter",
+    "authentication_ok", "parameter_status", "backend_key_data",
+    "ready_for_query", "command_complete", "empty_query_response",
+    "row_description", "data_row", "parse_complete", "bind_complete",
+    "close_complete", "no_data", "parameter_description",
+    "error_response", "Buffer", "startup_message", "simple_query",
+    "parse_message", "bind_message", "describe_message",
+    "execute_message", "close_message", "sync_message", "flush_message",
+    "terminate_message",
+]
+
+PROTOCOL_VERSION_3 = 196608          # 3 << 16
+SSL_REQUEST_CODE = 80877103
+CANCEL_REQUEST_CODE = 80877102
+GSSENC_REQUEST_CODE = 80877104
+
+#: ColumnType → PostgreSQL type OID for RowDescription /
+#: ParameterDescription.  Timestamps here are epoch *milliseconds*
+#: (OpenMLDB semantics), so they travel as int8 — never as the PG
+#: timestamp type, whose epoch and unit differ.
+TYPE_OIDS = {
+    ColumnType.BOOL: 16,
+    ColumnType.SMALLINT: 21,
+    ColumnType.INT: 23,
+    ColumnType.BIGINT: 20,
+    ColumnType.FLOAT: 700,
+    ColumnType.DOUBLE: 701,
+    ColumnType.TIMESTAMP: 20,
+    ColumnType.DATE: 1082,
+    ColumnType.STRING: 25,
+}
+TEXT_OID = 25
+
+#: Fixed typlen per OID (RowDescription field); -1 = variable.
+_TYPLEN = {16: 1, 21: 2, 23: 4, 20: 8, 700: 4, 701: 8, 1082: 4, 25: -1}
+
+_POSTGRES_EPOCH_DATE = datetime.date(2000, 1, 1)
+
+
+# ----------------------------------------------------------------------
+# SQLSTATE mapping
+
+#: Ordered (exception class → SQLSTATE); first match wins, so subclasses
+#: precede their bases.  The table in docs/network_protocol.md mirrors
+#: this structure.
+_SQLSTATES: Tuple[Tuple[type, str], ...] = (
+    (DeadlineExceededError, "57014"),   # query_canceled
+    (ProtocolError, "08P01"),           # protocol_violation
+    (LexError, "42601"),                # syntax_error
+    (ParseError, "42601"),
+    (PlanError, "42000"),               # syntax_error_or_access_rule
+    (CompileError, "42000"),
+    (TypeMismatchError, "22P02"),       # invalid_text_representation
+    (SchemaError, "22000"),             # data_exception
+    (DeploymentNotFoundError, "26000"), # invalid_sql_statement_name
+    (TableNotFoundError, "42P01"),      # undefined_table
+    (MemoryLimitExceededError, "53200"),# out_of_memory
+    (StaleReadError, "58000"),          # system_error (storage family)
+    (StorageError, "58000"),
+    (OpenMLDBError, "XX000"),           # internal_error fallback
+)
+
+
+def sqlstate_for(error: BaseException) -> str:
+    """Map an exception to its SQLSTATE code.
+
+    :class:`~repro.errors.OverloadError` splits on its shed reason:
+    the in-flight concurrency limiter reports ``53300``
+    (too_many_connections — the bound is a connection-shaped limit),
+    every other shed reason reports ``53400``
+    (configuration_limit_exceeded).  Both are class 53 "insufficient
+    resources", the retryable family clients should back off on.
+    """
+    if isinstance(error, OverloadError):
+        return "53300" if error.reason == "inflight" else "53400"
+    for klass, code in _SQLSTATES:
+        if isinstance(error, klass):
+            return code
+    return "XX000"
+
+
+# ----------------------------------------------------------------------
+# value encoding (text format)
+
+def encode_text(value: Any) -> Optional[bytes]:
+    """Encode one feature value for a DataRow field (None = SQL NULL)."""
+    if value is None:
+        return None
+    if value is True:
+        return b"t"
+    if value is False:
+        return b"f"
+    if isinstance(value, float):
+        return repr(value).encode("ascii")
+    if isinstance(value, datetime.date):
+        return value.isoformat().encode("ascii")
+    return str(value).encode("utf-8")
+
+
+_TRUE_TEXT = {"t", "true", "1", "yes", "on"}
+_FALSE_TEXT = {"f", "false", "0", "no", "off"}
+
+_BINARY_UNPACK = {
+    ColumnType.SMALLINT: ">h",
+    ColumnType.INT: ">i",
+    ColumnType.BIGINT: ">q",
+    ColumnType.TIMESTAMP: ">q",
+    ColumnType.FLOAT: ">f",
+    ColumnType.DOUBLE: ">d",
+}
+
+
+def decode_parameter(raw: Optional[bytes], column_type: ColumnType,
+                     binary: bool) -> Any:
+    """Decode one Bind parameter into the request row's Python value.
+
+    Text format covers every type; binary format is accepted for the
+    fixed-width types (network byte order, as psycopg sends once it
+    knows the OID).  Failures raise
+    :class:`~repro.errors.TypeMismatchError` → SQLSTATE 22P02.
+    """
+    if raw is None:
+        return None
+    try:
+        if binary:
+            return _decode_binary(raw, column_type)
+        return _decode_text(raw.decode("utf-8"), column_type)
+    except (ValueError, struct.error) as exc:
+        raise TypeMismatchError(
+            f"cannot decode parameter {raw!r} as "
+            f"{column_type.sql_name}: {exc}") from None
+
+
+def _decode_text(text: str, column_type: ColumnType) -> Any:
+    if column_type in (ColumnType.SMALLINT, ColumnType.INT,
+                       ColumnType.BIGINT, ColumnType.TIMESTAMP):
+        return int(text)
+    if column_type in (ColumnType.FLOAT, ColumnType.DOUBLE):
+        return float(text)
+    if column_type is ColumnType.BOOL:
+        lowered = text.strip().lower()
+        if lowered in _TRUE_TEXT:
+            return True
+        if lowered in _FALSE_TEXT:
+            return False
+        raise ValueError(f"not a boolean: {text!r}")
+    if column_type is ColumnType.DATE:
+        return datetime.date.fromisoformat(text.strip())
+    return text
+
+
+def _decode_binary(raw: bytes, column_type: ColumnType) -> Any:
+    fmt = _BINARY_UNPACK.get(column_type)
+    if fmt is not None:
+        if len(raw) != struct.calcsize(fmt):
+            raise ValueError(f"expected {struct.calcsize(fmt)} bytes, "
+                             f"got {len(raw)}")
+        return struct.unpack(fmt, raw)[0]
+    if column_type is ColumnType.BOOL:
+        if len(raw) != 1:
+            raise ValueError("boolean must be one byte")
+        return raw != b"\x00"
+    if column_type is ColumnType.DATE:
+        (days,) = struct.unpack(">i", raw)
+        return _POSTGRES_EPOCH_DATE + datetime.timedelta(days=days)
+    return raw.decode("utf-8")        # STRING: binary == utf-8 text
+
+
+# ----------------------------------------------------------------------
+# low-level buffer reader
+
+class Buffer:
+    """Sequential reader over one message payload."""
+
+    __slots__ = ("_data", "_pos")
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def read_bytes(self, count: int) -> bytes:
+        if count < 0 or self.remaining < count:
+            raise ProtocolError(
+                f"truncated message: wanted {count} bytes, "
+                f"have {self.remaining}")
+        out = self._data[self._pos:self._pos + count]
+        self._pos += count
+        return out
+
+    def read_int16(self) -> int:
+        return struct.unpack(">h", self.read_bytes(2))[0]
+
+    def read_int32(self) -> int:
+        return struct.unpack(">i", self.read_bytes(4))[0]
+
+    def read_byte(self) -> int:
+        return self.read_bytes(1)[0]
+
+    def read_cstr(self) -> str:
+        end = self._data.find(b"\x00", self._pos)
+        if end < 0:
+            raise ProtocolError("unterminated string in message")
+        out = self._data[self._pos:end].decode("utf-8")
+        self._pos = end + 1
+        return out
+
+
+# ----------------------------------------------------------------------
+# message assembly helpers
+
+def _cstr(text: str) -> bytes:
+    return text.encode("utf-8") + b"\x00"
+
+
+def _frame(type_byte: bytes, payload: bytes) -> bytes:
+    """One typed message: type byte + int32 length (incl. itself)."""
+    return type_byte + struct.pack(">i", len(payload) + 4) + payload
+
+
+# ---- backend (server → client) ----
+
+def authentication_ok() -> bytes:
+    return _frame(b"R", struct.pack(">i", 0))
+
+
+def parameter_status(key: str, value: str) -> bytes:
+    return _frame(b"S", _cstr(key) + _cstr(value))
+
+
+def backend_key_data(pid: int, secret: int) -> bytes:
+    return _frame(b"K", struct.pack(">ii", pid, secret))
+
+
+def ready_for_query(status: bytes = b"I") -> bytes:
+    return _frame(b"Z", status)
+
+
+def command_complete(tag: str) -> bytes:
+    return _frame(b"C", _cstr(tag))
+
+
+def empty_query_response() -> bytes:
+    return _frame(b"I", b"")
+
+
+def parse_complete() -> bytes:
+    return _frame(b"1", b"")
+
+
+def bind_complete() -> bytes:
+    return _frame(b"2", b"")
+
+
+def close_complete() -> bytes:
+    return _frame(b"3", b"")
+
+
+def no_data() -> bytes:
+    return _frame(b"n", b"")
+
+
+def parameter_description(oids: Sequence[int]) -> bytes:
+    payload = struct.pack(">h", len(oids))
+    for oid in oids:
+        payload += struct.pack(">i", oid)
+    return _frame(b"t", payload)
+
+
+def row_description(columns: Sequence[Tuple[str, int]]) -> bytes:
+    """``columns`` is a sequence of (name, type OID) pairs."""
+    parts = [struct.pack(">h", len(columns))]
+    for name, oid in columns:
+        parts.append(_cstr(name))
+        parts.append(struct.pack(">ihihih", 0, 0, oid,
+                                 _TYPLEN.get(oid, -1), -1, 0))
+    return _frame(b"T", b"".join(parts))
+
+
+def data_row(values: Sequence[Optional[bytes]]) -> bytes:
+    parts = [struct.pack(">h", len(values))]
+    for value in values:
+        if value is None:
+            parts.append(struct.pack(">i", -1))
+        else:
+            parts.append(struct.pack(">i", len(value)))
+            parts.append(value)
+    return _frame(b"D", b"".join(parts))
+
+
+def error_response(sqlstate: str, message: str, *,
+                   severity: str = "ERROR",
+                   detail: Optional[str] = None) -> bytes:
+    fields = [b"S" + _cstr(severity), b"V" + _cstr(severity),
+              b"C" + _cstr(sqlstate), b"M" + _cstr(message)]
+    if detail:
+        fields.append(b"D" + _cstr(detail))
+    return _frame(b"E", b"".join(fields) + b"\x00")
+
+
+# ---- frontend (client → server) ----
+
+def startup_message(user: str, database: str, **params: str) -> bytes:
+    body = struct.pack(">i", PROTOCOL_VERSION_3)
+    pairs = {"user": user, "database": database, **params}
+    for key, value in pairs.items():
+        body += _cstr(key) + _cstr(value)
+    body += b"\x00"
+    return struct.pack(">i", len(body) + 4) + body
+
+
+def simple_query(sql: str) -> bytes:
+    return _frame(b"Q", _cstr(sql))
+
+
+def parse_message(statement: str, sql: str,
+                  param_oids: Sequence[int] = ()) -> bytes:
+    payload = _cstr(statement) + _cstr(sql) \
+        + struct.pack(">h", len(param_oids))
+    for oid in param_oids:
+        payload += struct.pack(">i", oid)
+    return _frame(b"P", payload)
+
+
+def bind_message(portal: str, statement: str,
+                 params: Sequence[Optional[bytes]],
+                 param_formats: Sequence[int] = (),
+                 result_formats: Sequence[int] = (0,)) -> bytes:
+    payload = _cstr(portal) + _cstr(statement)
+    payload += struct.pack(">h", len(param_formats))
+    for fmt in param_formats:
+        payload += struct.pack(">h", fmt)
+    payload += struct.pack(">h", len(params))
+    for value in params:
+        if value is None:
+            payload += struct.pack(">i", -1)
+        else:
+            payload += struct.pack(">i", len(value)) + value
+    payload += struct.pack(">h", len(result_formats))
+    for fmt in result_formats:
+        payload += struct.pack(">h", fmt)
+    return _frame(b"B", payload)
+
+
+def describe_message(kind: str, name: str) -> bytes:
+    return _frame(b"D", kind.encode("ascii") + _cstr(name))
+
+
+def execute_message(portal: str, max_rows: int = 0) -> bytes:
+    return _frame(b"E", _cstr(portal) + struct.pack(">i", max_rows))
+
+
+def close_message(kind: str, name: str) -> bytes:
+    return _frame(b"C", kind.encode("ascii") + _cstr(name))
+
+
+def sync_message() -> bytes:
+    return _frame(b"S", b"")
+
+
+def flush_message() -> bytes:
+    return _frame(b"H", b"")
+
+
+def terminate_message() -> bytes:
+    return _frame(b"X", b"")
+
+
+# ----------------------------------------------------------------------
+# client→server payload parsers (used by the server)
+
+def parse_parse(payload: bytes) -> Tuple[str, str, List[int]]:
+    buf = Buffer(payload)
+    statement = buf.read_cstr()
+    sql = buf.read_cstr()
+    oids = [buf.read_int32() for _ in range(buf.read_int16())]
+    return statement, sql, oids
+
+
+def parse_bind(payload: bytes) -> Tuple[str, str, List[int],
+                                        List[Optional[bytes]], List[int]]:
+    buf = Buffer(payload)
+    portal = buf.read_cstr()
+    statement = buf.read_cstr()
+    param_formats = [buf.read_int16() for _ in range(buf.read_int16())]
+    params: List[Optional[bytes]] = []
+    for _ in range(buf.read_int16()):
+        length = buf.read_int32()
+        params.append(None if length < 0 else buf.read_bytes(length))
+    result_formats = [buf.read_int16() for _ in range(buf.read_int16())]
+    return portal, statement, param_formats, params, result_formats
+
+
+def parse_describe(payload: bytes) -> Tuple[str, str]:
+    buf = Buffer(payload)
+    kind = chr(buf.read_byte())
+    return kind, buf.read_cstr()
+
+
+def parse_execute(payload: bytes) -> Tuple[str, int]:
+    buf = Buffer(payload)
+    return buf.read_cstr(), buf.read_int32()
+
+
+def parse_close(payload: bytes) -> Tuple[str, str]:
+    return parse_describe(payload)
+
+
+def parse_simple_query(payload: bytes) -> str:
+    return Buffer(payload).read_cstr()

@@ -1,0 +1,790 @@
+"""The asyncio PostgreSQL-wire server for online feature serving.
+
+:class:`NetServer` listens on a TCP port, speaks the PostgreSQL v3
+protocol (simple *and* extended query cycles — see
+:mod:`repro.netserve.protocol`), and executes ``EXECUTE <deployment>``
+statements against any request backend: a
+:class:`~repro.serving.FrontendServer` (the recommended stack — the
+socket layer then composes with admission control, micro-batching, and
+load shedding), a :class:`~repro.cluster.NameServer`, or a single-node
+:class:`~repro.OpenMLDB`.
+
+Design notes
+------------
+
+* **One thread owns the event loop.**  ``start()`` spins up a daemon
+  thread running an asyncio loop; ``close()`` tears it down and joins.
+  The rest of the codebase stays synchronous — the server is a facade,
+  not an async rewrite of the stack.
+* **The loop never blocks on the backend.**  Feature computation is
+  synchronous (engine + storage), so every ``Execute`` hops to a
+  :class:`~concurrent.futures.ThreadPoolExecutor`; the loop keeps
+  serving other connections' frames meanwhile.  Per connection,
+  statements still execute in arrival order (the protocol requires it).
+* **Backpressure is two-layered.**  Socket-level: responses go through
+  ``writer.drain()``, so a slow reader suspends its own connection
+  coroutine without affecting others.  Server-level: the backend's
+  admission control sheds with :class:`~repro.errors.OverloadError`,
+  which crosses the wire as SQLSTATE 53300/53400 — clients see a
+  retryable "insufficient resources" error instead of a hung socket.
+* **Deadlines ride ``statement_timeout``.**  ``SET statement_timeout``
+  becomes the per-request ``timeout_ms`` handed to the backend (or a
+  :class:`~repro.serving.deadline.Deadline` scope when the backend's
+  ``request`` does not take a timeout), so the wire knob and the
+  serving-stack knob are the same mechanism.  Expiry surfaces as
+  SQLSTATE 57014 (query_canceled), exactly where psql users expect it.
+
+Protocol reference and flow diagrams: ``docs/network_protocol.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+import itertools
+import struct
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import (DeploymentNotFoundError, OpenMLDBError, ParseError,
+                      ProtocolError, StorageError)
+from ..obs import NULL_OBS, Observability
+from ..serving.deadline import Deadline, deadline_scope
+from ..serving.describe import DeploymentDescriptor
+from . import protocol as wire
+from .statements import (ControlStatement, EmptyStatement,
+                         ExecuteDeployment, Param, SelectConstant,
+                         SetOption, ShowOption, TransactionNoop, classify,
+                         parse_timeout_ms, split_statements)
+
+__all__ = ["NetServer"]
+
+#: ParameterStatus pairs sent after authentication.  psycopg refuses to
+#: finish connecting without ``server_version`` / ``client_encoding``;
+#: ``integer_datetimes`` matters if a client ever binds binary values.
+_SERVER_PARAMETERS = (
+    ("server_version", "15.0 (repro-openmldb)"),
+    ("server_encoding", "UTF8"),
+    ("client_encoding", "UTF8"),
+    ("DateStyle", "ISO, YMD"),
+    ("integer_datetimes", "on"),
+    ("standard_conforming_strings", "on"),
+    ("is_superuser", "off"),
+)
+
+
+class _WireError(Exception):
+    """An error born at the protocol layer with an explicit SQLSTATE."""
+
+    def __init__(self, sqlstate: str, message: str) -> None:
+        super().__init__(message)
+        self.sqlstate = sqlstate
+
+
+class _Prepared:
+    """A parsed statement: classification + (for EXECUTE) its binding.
+
+    ``param_types`` maps ``$n`` index → the request column's
+    :class:`~repro.types.ColumnType`, resolved from the deployment's
+    input schema at Parse time — so Bind can coerce wire bytes and
+    Describe can answer ParameterDescription without touching the
+    backend again.
+    """
+
+    __slots__ = ("name", "statement", "descriptor", "param_types",
+                 "param_oids")
+
+    def __init__(self, name: str, statement: Any,
+                 descriptor: Optional[DeploymentDescriptor],
+                 param_types: Sequence[Any]) -> None:
+        self.name = name
+        self.statement = statement
+        self.descriptor = descriptor
+        self.param_types = tuple(param_types)
+        self.param_oids = tuple(
+            wire.TYPE_OIDS[column_type] for column_type in param_types)
+
+    def result_columns(self) -> Optional[List[Tuple[str, int]]]:
+        """RowDescription columns, or None when the form returns no rows.
+
+        Feature outputs are described as ``text`` (OID 25): the engine
+        knows output *names* statically but not output types, and every
+        value crosses the wire in text format anyway.
+        """
+        statement = self.statement
+        if isinstance(statement, ExecuteDeployment):
+            assert self.descriptor is not None
+            return [(name, wire.TEXT_OID)
+                    for name in self.descriptor.output_names]
+        if isinstance(statement, SelectConstant):
+            return [("?column?", 23)]  # int4
+        if isinstance(statement, ShowOption):
+            return [(statement.name, wire.TEXT_OID)]
+        return None
+
+
+class _Portal:
+    """A bound statement: the prepared form plus its materialised row."""
+
+    __slots__ = ("prepared", "row")
+
+    def __init__(self, prepared: _Prepared,
+                 row: Optional[Tuple[Any, ...]]) -> None:
+        self.prepared = prepared
+        self.row = row
+
+
+class _Session:
+    """Per-connection state: prepared statements, portals, settings."""
+
+    __slots__ = ("statements", "portals", "settings", "timeout_ms",
+                 "in_error")
+
+    def __init__(self, startup: Dict[str, str],
+                 default_timeout_ms: Optional[float]) -> None:
+        self.statements: Dict[str, _Prepared] = {}
+        self.portals: Dict[str, _Portal] = {}
+        self.settings: Dict[str, str] = dict(startup)
+        self.timeout_ms = default_timeout_ms
+        self.in_error = False  # extended protocol: skip until Sync
+
+
+class NetServer:
+    """An asyncio PostgreSQL-wire frontend over a request backend.
+
+    Args:
+        backend: the request path — anything with
+            ``request(name, row)`` and ``describe_deployment(name)``
+            (:class:`~repro.serving.FrontendServer`,
+            :class:`~repro.cluster.NameServer`, or
+            :class:`~repro.OpenMLDB`).  When ``request`` accepts
+            ``timeout_ms`` it is passed through; otherwise the server
+            wraps the call in a deadline scope.
+        host / port: bind address; port 0 picks a free port (see the
+            ``address`` property after :meth:`start`).
+        obs: observability handle for ``netserve.*`` metrics and
+            ``net.request`` spans.
+        admin: optional control-plane backend with ``execute(sql)``
+            (usually an :class:`~repro.OpenMLDB`).  When present,
+            ``CREATE TABLE`` / ``INSERT`` / ``DEPLOY`` statements are
+            forwarded to it; when absent they are refused with
+            SQLSTATE 42501.
+        executor_workers: thread-pool size for blocking backend calls —
+            the network path's execution concurrency.
+        max_frame_bytes: refuse frames larger than this (08P01) and
+            close the connection; bounds per-connection memory.
+        max_connections: concurrent-connection cap; excess connections
+            are told 53300 at startup and closed.
+        default_timeout_ms: per-session ``statement_timeout`` starting
+            value (clients override with ``SET statement_timeout``).
+    """
+
+    def __init__(self, backend: Any, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 obs: Optional[Observability] = None,
+                 admin: Any = None,
+                 executor_workers: int = 8,
+                 max_frame_bytes: int = 1 << 20,
+                 max_connections: int = 64,
+                 default_timeout_ms: Optional[float] = None) -> None:
+        self._backend = backend
+        self._admin = admin
+        self._host = host
+        self._port = port
+        self._obs = obs or NULL_OBS
+        self._max_frame_bytes = max_frame_bytes
+        self._max_connections = max_connections
+        self._default_timeout_ms = default_timeout_ms
+        self._executor = ThreadPoolExecutor(
+            max_workers=executor_workers,
+            thread_name_prefix="netserve-exec")
+        try:
+            request_params = inspect.signature(
+                backend.request).parameters
+        except (TypeError, ValueError):  # builtins / mocks
+            request_params = {}
+        self._request_takes_timeout = "timeout_ms" in request_params
+
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._started = threading.Event()
+        self._start_error: Optional[BaseException] = None
+        self._closed = False
+        self._lifecycle_lock = threading.Lock()
+        self._connection_count = 0
+        self._connection_lock = threading.Lock()
+        self._key_seq = itertools.count(1)
+
+        registry = self._obs.registry
+        self._g_connections = registry.gauge("netserve.connections")
+        self._m_connections = registry.counter("netserve.connections.total")
+        self._m_refused = registry.counter("netserve.connections.refused")
+        self._m_bytes_in = registry.counter("netserve.bytes.in")
+        self._m_bytes_out = registry.counter("netserve.bytes.out")
+        self._h_request = registry.histogram("netserve.request.ms")
+        self._statement_counters: Dict[str, Any] = {}
+        self._error_counters: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle (sync facade over the loop thread)
+
+    def start(self) -> Tuple[str, int]:
+        """Bind and serve; returns the listening ``(host, port)``."""
+        with self._lifecycle_lock:
+            if self._thread is not None:
+                raise OpenMLDBError("NetServer already started")
+            self._thread = threading.Thread(
+                target=self._run_loop, name="netserve-loop", daemon=True)
+            self._thread.start()
+        self._started.wait()
+        if self._start_error is not None:
+            error = self._start_error
+            self.close()
+            raise OpenMLDBError(f"NetServer failed to bind "
+                                f"{self._host}:{self._port}: {error}")
+        return self.address
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — valid after :meth:`start`."""
+        if self._server is None:
+            raise OpenMLDBError("NetServer is not listening")
+        sock = self._server.sockets[0]
+        name = sock.getsockname()
+        return name[0], name[1]
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            try:
+                self._server = loop.run_until_complete(
+                    asyncio.start_server(self._serve_connection,
+                                         self._host, self._port))
+            except BaseException as exc:
+                self._start_error = exc
+                return
+            finally:
+                self._started.set()
+            loop.run_forever()
+            # close() requested: stop listening, let handlers unwind.
+            self._server.close()
+            loop.run_until_complete(self._server.wait_closed())
+            tasks = asyncio.all_tasks(loop)
+            for task in tasks:
+                task.cancel()
+            if tasks:
+                loop.run_until_complete(
+                    asyncio.gather(*tasks, return_exceptions=True))
+        finally:
+            loop.close()
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop serving, join the loop thread, shut the executor down.
+
+        Idempotent.  Open connections are cancelled, not drained — the
+        PG protocol has no server-side goodbye, and clients treat EOF
+        as disconnect.
+        """
+        with self._lifecycle_lock:
+            if self._closed:
+                return
+            self._closed = True
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "NetServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # connection handling
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        with self._connection_lock:
+            self._connection_count += 1
+            count = self._connection_count
+        self._m_connections.inc()
+        self._g_connections.set(count)
+        try:
+            if count > self._max_connections:
+                self._m_refused.inc()
+                await self._refuse(reader, writer)
+                return
+            await self._handle(reader, writer)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass  # peer went away mid-message: nothing to answer
+        except asyncio.CancelledError:
+            pass  # server shutdown: drop the connection quietly
+        finally:
+            with self._connection_lock:
+                self._connection_count -= 1
+                count = self._connection_count
+            self._g_connections.set(count)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _refuse(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        """Over the connection cap: finish startup, then shed politely."""
+        if await self._startup(reader, writer, announce=False) is None:
+            return
+        await self._send(writer, wire.error_response(
+            "53300", f"too many connections "
+            f"(max_connections={self._max_connections})",
+            severity="FATAL"))
+
+    async def _startup(self, reader: asyncio.StreamReader,
+                       writer: asyncio.StreamWriter,
+                       announce: bool = True) -> Optional[Dict[str, str]]:
+        """Run the startup phase; returns startup params, None to drop."""
+        while True:
+            raw_length = await reader.readexactly(4)
+            (length,) = struct.unpack(">i", raw_length)
+            if length < 8 or length > self._max_frame_bytes:
+                await self._send(writer, wire.error_response(
+                    "08P01", f"invalid startup packet length {length}",
+                    severity="FATAL"))
+                return None
+            payload = await reader.readexactly(length - 4)
+            self._m_bytes_in.inc(length)
+            (code,) = struct.unpack(">i", payload[:4])
+            if code in (wire.SSL_REQUEST_CODE, wire.GSSENC_REQUEST_CODE):
+                writer.write(b"N")  # no TLS/GSS: please retry in clear
+                await writer.drain()
+                continue
+            if code == wire.CANCEL_REQUEST_CODE:
+                return None  # cancellation is best-effort: ignore
+            if code != wire.PROTOCOL_VERSION_3:
+                await self._send(writer, wire.error_response(
+                    "08P01", f"unsupported protocol code {code}",
+                    severity="FATAL"))
+                return None
+            break
+        buf = wire.Buffer(payload[4:])
+        params: Dict[str, str] = {}
+        while buf.remaining > 1:
+            key = buf.read_cstr()
+            if not key:
+                break
+            params[key] = buf.read_cstr()
+        if announce:
+            out = [wire.authentication_ok()]
+            out.extend(wire.parameter_status(key, value)
+                       for key, value in _SERVER_PARAMETERS)
+            key_id = next(self._key_seq)
+            out.append(wire.backend_key_data(key_id, key_id * 7919))
+            out.append(wire.ready_for_query())
+            await self._send(writer, b"".join(out))
+        return params
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        startup = await self._startup(reader, writer)
+        if startup is None:
+            return
+        session = _Session(startup, self._default_timeout_ms)
+        while True:
+            header = await reader.readexactly(5)
+            type_byte = header[:1]
+            (length,) = struct.unpack(">i", header[1:])
+            if length < 4 or length > self._max_frame_bytes:
+                self._count_error("08P01")
+                await self._send(writer, wire.error_response(
+                    "08P01", f"frame of {length} bytes exceeds "
+                    f"max_frame_bytes={self._max_frame_bytes}",
+                    severity="FATAL"))
+                return
+            payload = await reader.readexactly(length - 4)
+            self._m_bytes_in.inc(length + 1)
+            if type_byte == b"X":      # Terminate
+                return
+            if not await self._dispatch(writer, session, type_byte,
+                                        payload):
+                return
+
+    async def _dispatch(self, writer: asyncio.StreamWriter,
+                        session: _Session, type_byte: bytes,
+                        payload: bytes) -> bool:
+        """Handle one typed frame; False closes the connection."""
+        if type_byte == b"Q":
+            await self._on_simple_query(writer, session, payload)
+            return True
+        if type_byte == b"S":          # Sync: recover from error state
+            session.in_error = False
+            await self._send(writer, wire.ready_for_query())
+            return True
+        if type_byte == b"H":          # Flush
+            await writer.drain()
+            return True
+        if session.in_error:
+            # Skip-until-Sync: a failed step poisons the rest of the
+            # pipeline; queued messages are discarded, not executed.
+            return True
+        handlers = {b"P": self._on_parse, b"B": self._on_bind,
+                    b"D": self._on_describe, b"E": self._on_execute,
+                    b"C": self._on_close}
+        handler = handlers.get(type_byte)
+        if handler is None:
+            self._count_error("08P01")
+            await self._send(writer, wire.error_response(
+                "08P01", f"unexpected message type "
+                f"{type_byte.decode('latin-1')!r}", severity="FATAL"))
+            return False
+        try:
+            await handler(writer, session, payload)
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:
+            session.in_error = True
+            await self._send_error(writer, exc)
+        return True
+
+    # ------------------------------------------------------------------
+    # simple query protocol
+
+    async def _on_simple_query(self, writer: asyncio.StreamWriter,
+                               session: _Session,
+                               payload: bytes) -> None:
+        sql = wire.parse_simple_query(payload)
+        session.in_error = False  # a simple Query implicitly resyncs
+        for statement_sql in split_statements(sql):
+            try:
+                statement = classify(statement_sql)
+                await self._run_simple(writer, session, statement)
+            except asyncio.CancelledError:
+                raise
+            except BaseException as exc:
+                await self._send_error(writer, exc)
+                break  # remaining statements in this Q are abandoned
+        await self._send(writer, wire.ready_for_query())
+
+    async def _run_simple(self, writer: asyncio.StreamWriter,
+                          session: _Session, statement: Any) -> None:
+        self._count_statement("simple")
+        if isinstance(statement, EmptyStatement):
+            await self._send(writer, wire.empty_query_response())
+            return
+        if isinstance(statement, ExecuteDeployment):
+            prepared = self._prepare(session, "", statement)
+            if prepared.param_types:
+                raise ParseError("simple-protocol EXECUTE cannot carry "
+                                 "$n placeholders; use the extended "
+                                 "protocol (Parse/Bind/Execute)")
+            portal = _Portal(prepared, self._bind_row(prepared, [], []))
+            columns = prepared.result_columns()
+            rows = await self._execute_portal(session, portal, "simple")
+            out = [wire.row_description(columns)]
+            out.extend(wire.data_row(row) for row in rows)
+            out.append(wire.command_complete(f"SELECT {len(rows)}"))
+            await self._send(writer, b"".join(out))
+            return
+        await self._run_utility(writer, session, statement,
+                                describe_rows=True)
+
+    async def _run_utility(self, writer: asyncio.StreamWriter,
+                           session: _Session, statement: Any, *,
+                           describe_rows: bool) -> None:
+        """Execute the non-deployment forms (shared by both protocols)."""
+        if isinstance(statement, TransactionNoop):
+            await self._send(writer,
+                             wire.command_complete(statement.tag))
+        elif isinstance(statement, SetOption):
+            if statement.name == "statement_timeout":
+                session.timeout_ms = parse_timeout_ms(statement.value)
+            session.settings[statement.name] = statement.value
+            await self._send(writer, wire.command_complete("SET"))
+        elif isinstance(statement, ShowOption):
+            value = self._show(session, statement.name)
+            out = []
+            if describe_rows:
+                out.append(wire.row_description(
+                    [(statement.name, wire.TEXT_OID)]))
+            out.append(wire.data_row([value.encode("utf-8")]))
+            out.append(wire.command_complete("SHOW"))
+            await self._send(writer, b"".join(out))
+        elif isinstance(statement, SelectConstant):
+            out = []
+            if describe_rows:
+                out.append(wire.row_description([("?column?", 23)]))
+            out.append(wire.data_row(
+                [str(statement.value).encode("ascii")]))
+            out.append(wire.command_complete("SELECT 1"))
+            await self._send(writer, b"".join(out))
+        elif isinstance(statement, ControlStatement):
+            tag = await self._run_control(statement)
+            await self._send(writer, wire.command_complete(tag))
+        else:
+            raise ProtocolError(
+                f"unhandled statement form {type(statement).__name__}")
+
+    def _show(self, session: _Session, name: str) -> str:
+        if name == "statement_timeout":
+            timeout = session.timeout_ms
+            return "0" if timeout is None else f"{timeout:g}ms"
+        for key, value in _SERVER_PARAMETERS:
+            if key.lower() == name:
+                return value
+        if name in session.settings:
+            return session.settings[name]
+        raise _WireError("42704",
+                         f"unrecognized configuration parameter {name!r}")
+
+    async def _run_control(self, statement: ControlStatement) -> str:
+        if self._admin is None:
+            raise _WireError(
+                "42501", f"{statement.kind} is not allowed on this "
+                "endpoint (server started without an admin backend)")
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            self._executor, self._admin.execute, statement.sql)
+        return {"CREATE TABLE": "CREATE TABLE",
+                "INSERT": "INSERT 0 1",
+                "DEPLOY": "DEPLOY"}[statement.kind]
+
+    # ------------------------------------------------------------------
+    # extended query protocol
+
+    async def _on_parse(self, writer: asyncio.StreamWriter,
+                        session: _Session, payload: bytes) -> None:
+        name, sql, _oids = wire.parse_parse(payload)
+        statement = classify(sql)
+        session.statements[name] = self._prepare(session, name, statement)
+        await self._send(writer, wire.parse_complete())
+
+    def _prepare(self, session: _Session, name: str,
+                 statement: Any) -> _Prepared:
+        if not isinstance(statement, ExecuteDeployment):
+            return _Prepared(name, statement, None, ())
+        try:
+            descriptor = self._backend.describe_deployment(
+                statement.deployment)
+        except (DeploymentNotFoundError, StorageError) as exc:
+            raise _WireError(
+                "26000", f"unknown deployment "
+                f"{statement.deployment!r}: {exc}") from None
+        args = statement.args
+        if args is None:
+            # `EXECUTE name` with no argument list: every request
+            # column is a placeholder, in schema order.
+            args = tuple(Param(index)
+                         for index in range(descriptor.arity))
+            statement = ExecuteDeployment(statement.deployment, args)
+        if len(args) != descriptor.arity:
+            raise _WireError(
+                "42P08", f"deployment {statement.deployment!r} takes "
+                f"{descriptor.arity} request values, statement "
+                f"supplies {len(args)}")
+        columns = list(descriptor.input_schema)
+        param_types: Dict[int, Any] = {}
+        for position, arg in enumerate(args):
+            if isinstance(arg, Param):
+                param_types[arg.index] = columns[position].type
+        if param_types:
+            count = max(param_types) + 1
+            missing = [f"${index + 1}" for index in range(count)
+                       if index not in param_types]
+            if missing:
+                raise _WireError(
+                    "42P02", "parameter(s) "
+                    f"{', '.join(missing)} are never used")
+            ordered = [param_types[index] for index in range(count)]
+        else:
+            ordered = []
+        return _Prepared(name, statement, descriptor, ordered)
+
+    async def _on_bind(self, writer: asyncio.StreamWriter,
+                       session: _Session, payload: bytes) -> None:
+        (portal_name, statement_name, param_formats, raw_params,
+         _result_formats) = wire.parse_bind(payload)
+        prepared = session.statements.get(statement_name)
+        if prepared is None:
+            raise _WireError(
+                "26000",
+                f"unknown prepared statement {statement_name!r}")
+        row = self._bind_row(prepared, param_formats, raw_params)
+        session.portals[portal_name] = _Portal(prepared, row)
+        await self._send(writer, wire.bind_complete())
+
+    def _bind_row(self, prepared: _Prepared,
+                  param_formats: Sequence[int],
+                  raw_params: Sequence[Optional[bytes]],
+                  ) -> Optional[Tuple[Any, ...]]:
+        param_types = prepared.param_types
+        if not isinstance(prepared.statement, ExecuteDeployment):
+            if raw_params:
+                raise _WireError(
+                    "42P02", "statement takes no parameters")
+            return None
+        if len(raw_params) != len(param_types):
+            raise _WireError(
+                "08P01", f"bind supplies {len(raw_params)} parameters, "
+                f"statement wants {len(param_types)}")
+        values = []
+        for index, raw in enumerate(raw_params):
+            # Per the PG spec: no formats = all text, one format =
+            # applies to all, otherwise one per parameter.
+            if not param_formats:
+                binary = False
+            elif len(param_formats) == 1:
+                binary = bool(param_formats[0])
+            elif index < len(param_formats):
+                binary = bool(param_formats[index])
+            else:
+                raise _WireError(
+                    "08P01", "parameter format count mismatch")
+            values.append(wire.decode_parameter(
+                raw, param_types[index], binary))
+        row = []
+        for arg in prepared.statement.args:
+            row.append(values[arg.index] if isinstance(arg, Param)
+                       else arg)
+        return tuple(row)
+
+    async def _on_describe(self, writer: asyncio.StreamWriter,
+                           session: _Session, payload: bytes) -> None:
+        kind, name = wire.parse_describe(payload)
+        if kind == "S":
+            prepared = session.statements.get(name)
+            if prepared is None:
+                raise _WireError(
+                    "26000", f"unknown prepared statement {name!r}")
+            out = [wire.parameter_description(prepared.param_oids)]
+        elif kind == "P":
+            portal = session.portals.get(name)
+            if portal is None:
+                raise _WireError("34000", f"unknown portal {name!r}")
+            prepared = portal.prepared
+            out = []
+        else:
+            raise ProtocolError(f"invalid describe kind {kind!r}")
+        columns = prepared.result_columns()
+        out.append(wire.row_description(columns)
+                   if columns is not None else wire.no_data())
+        await self._send(writer, b"".join(out))
+
+    async def _on_execute(self, writer: asyncio.StreamWriter,
+                          session: _Session, payload: bytes) -> None:
+        portal_name, _max_rows = wire.parse_execute(payload)
+        portal = session.portals.get(portal_name)
+        if portal is None:
+            raise _WireError("34000",
+                             f"unknown portal {portal_name!r}")
+        self._count_statement("extended")
+        statement = portal.prepared.statement
+        if isinstance(statement, EmptyStatement):
+            await self._send(writer, wire.empty_query_response())
+            return
+        if isinstance(statement, ExecuteDeployment):
+            rows = await self._execute_portal(session, portal, "extended")
+            out = [wire.data_row(row) for row in rows]
+            out.append(wire.command_complete(f"SELECT {len(rows)}"))
+            await self._send(writer, b"".join(out))
+            return
+        # Utility forms: Describe already sent RowDescription (or
+        # NoData), so only rows + completion go out here.
+        await self._run_utility(writer, session, statement,
+                                describe_rows=False)
+
+    async def _on_close(self, writer: asyncio.StreamWriter,
+                        session: _Session, payload: bytes) -> None:
+        kind, name = wire.parse_close(payload)
+        if kind == "S":
+            session.statements.pop(name, None)
+        elif kind == "P":
+            session.portals.pop(name, None)
+        else:
+            raise ProtocolError(f"invalid close kind {kind!r}")
+        await self._send(writer, wire.close_complete())
+
+    # ------------------------------------------------------------------
+    # execution
+
+    async def _execute_portal(self, session: _Session, portal: _Portal,
+                              protocol: str) -> List[List[Optional[bytes]]]:
+        """Run one deployment request off-loop; encode the feature row."""
+        prepared = portal.prepared
+        statement = prepared.statement
+        assert isinstance(statement, ExecuteDeployment)
+        assert portal.row is not None
+        timeout_ms = session.timeout_ms
+        loop = asyncio.get_running_loop()
+        features = await loop.run_in_executor(
+            self._executor, self._request_blocking,
+            statement.deployment, portal.row, timeout_ms, protocol)
+        ordered = [features.get(name)
+                   for name in prepared.descriptor.output_names]
+        return [[wire.encode_text(value) for value in ordered]]
+
+    def _request_blocking(self, deployment: str, row: Tuple[Any, ...],
+                          timeout_ms: Optional[float],
+                          protocol: str) -> Dict[str, Any]:
+        """The executor-thread half of Execute: backend call + tracing."""
+        started = time.monotonic()
+        with self._obs.tracer.span("net.request", deployment=deployment,
+                                   protocol=protocol):
+            try:
+                if self._request_takes_timeout:
+                    return self._backend.request(
+                        deployment, row, timeout_ms=timeout_ms)
+                if timeout_ms is not None:
+                    with deadline_scope(Deadline.after(timeout_ms)):
+                        return self._backend.request(deployment, row)
+                return self._backend.request(deployment, row)
+            finally:
+                self._h_request.observe(
+                    (time.monotonic() - started) * 1_000.0)
+
+    # ------------------------------------------------------------------
+    # plumbing
+
+    async def _send(self, writer: asyncio.StreamWriter,
+                    data: bytes) -> None:
+        writer.write(data)
+        self._m_bytes_out.inc(len(data))
+        await writer.drain()  # socket backpressure: slow reader, slow us
+
+    async def _send_error(self, writer: asyncio.StreamWriter,
+                          error: BaseException) -> None:
+        if isinstance(error, _WireError):
+            sqlstate = error.sqlstate
+            message = str(error)
+        elif isinstance(error, OpenMLDBError):
+            sqlstate = wire.sqlstate_for(error)
+            message = str(error)
+        else:
+            sqlstate = "XX000"
+            message = f"{type(error).__name__}: {error}"
+        self._count_error(sqlstate)
+        await self._send(writer,
+                         wire.error_response(sqlstate, message))
+
+    def _count_statement(self, protocol: str) -> None:
+        counter = self._statement_counters.get(protocol)
+        if counter is None:
+            counter = self._obs.registry.counter(
+                "netserve.statements", protocol=protocol)
+            self._statement_counters[protocol] = counter
+        counter.inc()
+
+    def _count_error(self, sqlstate: str) -> None:
+        counter = self._error_counters.get(sqlstate)
+        if counter is None:
+            counter = self._obs.registry.counter(
+                "netserve.errors", sqlstate=sqlstate)
+            self._error_counters[sqlstate] = counter
+        counter.inc()

@@ -22,8 +22,9 @@ engine:
 from .admission import AdmissionController, PRIORITIES, Ticket
 from .batcher import BatchPolicy, WorkerPool
 from .deadline import Deadline, current_deadline, deadline_scope
+from .describe import DeploymentDescriptor
 from .frontend import FrontendServer
 
 __all__ = ["FrontendServer", "AdmissionController", "Ticket",
            "PRIORITIES", "BatchPolicy", "WorkerPool", "Deadline",
-           "current_deadline", "deadline_scope"]
+           "current_deadline", "deadline_scope", "DeploymentDescriptor"]

@@ -1,0 +1,45 @@
+"""Deployment introspection shared by serving frontends.
+
+A network frontend (``repro.netserve``) needs to know, for each
+deployed feature script, what a request row looks like (to coerce wire
+parameters) and what comes back (to describe result sets to clients)
+— *before* executing anything.  :class:`DeploymentDescriptor` is that
+contract; ``OpenMLDB.describe_deployment``,
+``NameServer.describe_deployment``, and
+``FrontendServer.describe_deployment`` all return it.
+
+The descriptor lives here (not in ``repro.core`` or ``repro.cluster``)
+so both backends can produce it without either importing the other.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+from ..schema import Schema
+
+__all__ = ["DeploymentDescriptor"]
+
+
+@dataclasses.dataclass(frozen=True)
+class DeploymentDescriptor:
+    """What a client must send to — and will get back from — a deployment.
+
+    Attributes:
+        name: deployment name.
+        table: the primary (request) table the deployment anchors on.
+        input_schema: schema of the request tuple — one value per column
+            of the primary table, in declaration order.
+        output_names: feature column names, in projection order.
+    """
+
+    name: str
+    table: str
+    input_schema: Schema
+    output_names: Tuple[str, ...]
+
+    @property
+    def arity(self) -> int:
+        """Number of values a request tuple must carry."""
+        return len(self.input_schema)

@@ -167,6 +167,20 @@ class FrontendServer:
         self._m_admitted.inc()
         return self._await(future, deadline, name)
 
+    def describe_deployment(self, name: str) -> Any:
+        """Delegate deployment introspection to the backend.
+
+        Network frontends (``repro.netserve``) describe prepared
+        statements through the same frontend they execute through, so
+        the whole serving stack stays one object to wire up.
+        """
+        describe = getattr(self._backend, "describe_deployment", None)
+        if describe is None:
+            raise OpenMLDBError(
+                f"backend {type(self._backend).__name__} does not "
+                f"support deployment introspection")
+        return describe(name)
+
     def _await(self, future: Future, deadline: Optional[Deadline],
                name: str) -> Dict[str, Any]:
         timeout_s = deadline.remaining_ms() / 1_000.0 \

@@ -146,7 +146,6 @@ def _compile_binary(op: str, left: RowFn, right: RowFn) -> RowFn:
         "+": lambda a, b: a + b,
         "-": lambda a, b: a - b,
         "*": lambda a, b: a * b,
-        "%": lambda a, b: a % b,
         "=": lambda a, b: a == b,
         "!=": lambda a, b: a != b,
         "<": lambda a, b: a < b,
@@ -163,6 +162,12 @@ def _compile_binary(op: str, left: RowFn, right: RowFn) -> RowFn:
                 return None  # SQL: division by zero yields NULL
             return a / b
         return guarded(divide)
+    if op == "%":
+        def modulo(a, b):
+            if b == 0:
+                return None  # same contract as "/": zero divisor → NULL
+            return a % b
+        return guarded(modulo)
     if op == "LIKE":
         def like(a, b):
             return bool(_like_to_regex(b).match(a))

@@ -49,3 +49,12 @@ def test_observability_doc_exists_with_examples():
     doc = ROOT / "docs" / "observability.md"
     assert doc.exists()
     assert len(_blocks(doc)) >= 1
+
+
+@pytest.mark.docs
+def test_network_protocol_doc_exists_with_examples():
+    doc = ROOT / "docs" / "network_protocol.md"
+    assert doc.exists()
+    # The protocol page is a worked wire session: several executed
+    # blocks (startup, both query protocols, pipelining, errors).
+    assert len(_blocks(doc)) >= 4

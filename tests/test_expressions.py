@@ -71,6 +71,22 @@ class TestArithmetic:
         assert compile_from_sql("-a")((5, 0, "")) == -5
         assert compile_from_sql("-a")((None, 0, "")) is None
 
+    def test_modulo_by_zero_is_null(self):
+        # Same contract as "/": a zero divisor yields NULL, never an
+        # uncaught ZeroDivisionError (docs/sql_reference.md §operators).
+        fn = compile_from_sql("a % b")
+        assert fn((7, 0, "")) is None
+        assert fn((7.5, 0.0, "")) is None
+        assert fn((None, 0, "")) is None
+
+    def test_modulo_by_zero_matches_interpreter_baseline(self):
+        from repro.baselines.interp import interpret_expr
+        from repro.sql.parser import parse_select
+        statement = parse_select("SELECT a % b AS e FROM t")
+        expr = statement.items[0].expr
+        assert interpret_expr(expr, {"a": 7, "b": 0}) is None
+        assert interpret_expr(expr, {"a": 7, "b": 3}) == 1
+
 
 class TestComparisonsAndLogic:
     def test_comparisons(self):

@@ -28,10 +28,20 @@ reliably:
   an explicit drain, work queued to them (e.g. binlog closures) is
   abandoned.  Tests and benchmarks may spawn throwaway threads, so the
   rule is scoped to library code.
+* **DOC001** — a dotted ``repro.*`` reference in the prose docs
+  (``README.md``, ``docs/*.md``) that no longer resolves to a module
+  or attribute.  ``make verify-docs`` executes the fenced code, but
+  prose mentions (``the catalog lives in `repro.obs.metrics```) rot
+  silently when a module is renamed; this rule imports each reference
+  and getattr-walks the remainder.  Runs in *both* ``make lint``
+  branches (with ruff, via ``tools/lint.py --docs``).
 
 Usage: ``python tools/lint.py PATH [PATH ...]`` — paths are files or
-directories (searched recursively for ``*.py``).  Exits non-zero when
-findings exist, printing ``path:line:col CODE message`` per finding.
+directories (searched recursively for ``*.py``); markdown files and
+the DOC001 sweep are included automatically when a given directory
+contains them.  ``python tools/lint.py --docs`` runs only the DOC001
+sweep over the repo's prose docs.  Exits non-zero when findings exist,
+printing ``path:line:col CODE message`` per finding.
 """
 
 from __future__ import annotations
@@ -279,6 +289,69 @@ def check_daemon_thread_lifecycle(path: pathlib.Path,
                    "no close()/stop() method that join()s it")
 
 
+import importlib
+import re
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# A dotted repro.* path in prose or code: `repro.netserve.NetClient`,
+# `repro.sql`, ...  Stops before `(` / `-` / whitespace by construction.
+_DOC_REFERENCE = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
+
+
+def _resolve_reference(reference: str) -> Optional[str]:
+    """Return an error string if ``reference`` does not resolve.
+
+    Tries the longest importable module prefix, then getattr-walks the
+    remaining parts (classes, functions, constants).
+    """
+    parts = reference.split(".")
+    for cut in range(len(parts), 0, -1):
+        module_name = ".".join(parts[:cut])
+        try:
+            obj = importlib.import_module(module_name)
+        except ImportError:
+            continue
+        except Exception as exc:  # import-time crash is also a finding
+            return f"importing {module_name!r} raised {exc!r}"
+        for attr in parts[cut:]:
+            try:
+                obj = getattr(obj, attr)
+            except AttributeError:
+                return (f"{module_name!r} has no attribute "
+                        f"{'.'.join(parts[cut:])!r}")
+        return None
+    return f"no importable prefix of {reference!r}"
+
+
+def doc_files(root: pathlib.Path = REPO_ROOT) -> List[pathlib.Path]:
+    files = [root / "README.md"]
+    files += sorted((root / "docs").glob("*.md"))
+    return [f for f in files if f.exists()]
+
+
+def check_doc_references(
+        root: pathlib.Path = REPO_ROOT) -> Iterator[Finding]:
+    """DOC001 — every ``repro.*`` mention in the prose docs resolves."""
+    src = root / "src"
+    if src.exists() and str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+    checked: dict = {}
+    for doc in doc_files(root):
+        for lineno, line in enumerate(
+                doc.read_text(encoding="utf-8").splitlines(), start=1):
+            for match in _DOC_REFERENCE.finditer(line):
+                reference = match.group(0)
+                if reference not in checked:
+                    checked[reference] = _resolve_reference(reference)
+                error = checked[reference]
+                if error is not None:
+                    yield (str(doc.relative_to(root)), lineno,
+                           match.start() + 1, "DOC001",
+                           f"doc reference {reference!r} does not "
+                           f"resolve: {error}")
+
+
 def lint(paths: List[str]) -> List[Finding]:
     findings: List[Finding] = []
     for path in iter_python_files(paths):
@@ -299,9 +372,12 @@ def lint(paths: List[str]) -> List[Finding]:
 
 def main(argv: List[str]) -> int:
     if not argv:
-        print("usage: lint.py PATH [PATH ...]", file=sys.stderr)
+        print("usage: lint.py [--docs] PATH [PATH ...]", file=sys.stderr)
         return 2
-    findings = sorted(lint(argv))
+    docs_only = "--docs" in argv
+    paths = [arg for arg in argv if arg != "--docs"]
+    findings: List[Finding] = [] if docs_only else sorted(lint(paths))
+    findings.extend(sorted(check_doc_references()))
     for path, line, col, code, message in findings:
         print(f"{path}:{line}:{col} {code} {message}")
     if findings:
