@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test lint verify verify-docs bench bench-smoke recover-smoke \
-	examples profile
+	offline-smoke examples profile
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -20,7 +20,7 @@ lint:
 		$(PYTHON) tools/lint.py src tests benchmarks; \
 	fi
 
-verify: lint test recover-smoke bench-smoke
+verify: lint test recover-smoke offline-smoke bench-smoke
 
 # Extract and execute every fenced python block in README.md and
 # docs/*.md — documentation code must actually run.
@@ -34,6 +34,12 @@ bench:
 # regression (or a broken benchmark harness) without the full sweep.
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/test_fig_serving_throughput.py -q
+
+# Offline parallel round trip: a tiny process-pool run (with spill)
+# must stay byte-identical to serial.  Hermetic — falls back to the
+# thread pool where multiprocessing is unavailable.
+offline-smoke:
+	$(PYTHON) -m pytest tests/test_offline_parallel.py -q -k smoke
 
 # Crash/restart round trip: a tablet dies losing its memory, restarts
 # from snapshot + binlog-tail replay, and must lose no acknowledged

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import pytest
 
+from _util import record_bench
 from repro.baselines import SparkBatchEngine
 from repro.bench import print_table, speedup
 from repro.offline.engine import OfflineEngine
@@ -66,6 +67,28 @@ def run_case(window_rows):
             parallel_stats.total_parallel_seconds)
 
 
+def check_process_mode_identical(window_rows):
+    """The process pool must produce the same feature rows as threads
+    (or fall back to threads visibly — never silently diverge).  Kept
+    out of :func:`run_case` so pool forking can't perturb the timed
+    measurements."""
+    schema, rows = dataset()
+    sql = multi_window_sql(window_rows)
+    catalog = {"t": schema}
+    table = MemTable("t", schema, [IndexDef(("k",), "ts")])
+    table.insert_many(rows)
+    compiled = compile_plan(build_plan(parse_select(sql), catalog), catalog)
+    engine = OfflineEngine({"t": table}, workers=WORKERS, pool_workers=2)
+    try:
+        thread_rows, _ = engine.execute(compiled, mode="thread")
+        process_rows, process_stats = engine.execute(compiled,
+                                                     mode="process")
+    finally:
+        engine.close()
+    assert process_rows == thread_rows
+    assert process_stats.used_process_pool or process_stats.pool_fallback
+
+
 @pytest.mark.benchmark(group="fig12")
 def test_fig12_parallel_windows(benchmark):
     cases = {"small": 40, "medium": 120, "large": 240}
@@ -92,6 +115,10 @@ def test_fig12_parallel_windows(benchmark):
             continue
         assert row[5] > 1.2, row[0]
 
+    check_process_mode_identical(cases["small"])
+    record_bench("fig12_parallel_window",
+                 **{f"{label}_speedup_vs_spark": value
+                    for label, value in speedups.items()})
     benchmark.extra_info["speedups"] = {
         label: round(value, 2) for label, value in speedups.items()}
     benchmark.pedantic(run_case, args=(40,), rounds=2, iterations=1)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import pytest
 
+from _util import record_bench
 from repro.baselines import SparkBatchEngine
 from repro.bench import print_table, speedup
 from repro.offline.engine import OfflineEngine
@@ -71,6 +72,15 @@ def test_fig13_skew_optimisation(benchmark, skew_setup):
         timings[f"openmldb (skew {quantile})"] = \
             stats.total_parallel_seconds
 
+    # Carried partials replace expanded-row context where the frame
+    # allows it — results must stay identical to the no-opt reference.
+    carry_rows_out, carry_stats = engine.execute(
+        compiled, skew=SkewConfig(quantile=4, min_partition_rows=100,
+                                  merge_partials=True))
+    assert carry_rows_out == reference_rows
+    timings["openmldb (skew 4, merged partials)"] = \
+        carry_stats.total_parallel_seconds
+
     table_rows = [[name, seconds, speedup(spark_seconds, seconds)]
                   for name, seconds in timings.items()]
     print_table("Figure 13: skew optimisation (seconds, 8 workers)",
@@ -84,6 +94,12 @@ def test_fig13_skew_optimisation(benchmark, skew_setup):
                                                        no_opt) * 0.5
     assert speedup(no_opt, skew4) > 1.5      # paper: >2× over no-opt
 
+    record_bench("fig13_skew",
+                 speedup_no_opt_vs_spark=speedup(spark_seconds, no_opt),
+                 speedup_skew4_vs_spark=speedup(spark_seconds, skew4),
+                 speedup_skew4_vs_no_opt=speedup(no_opt, skew4),
+                 skew4_merged_partials_seconds=timings[
+                     "openmldb (skew 4, merged partials)"])
     benchmark.extra_info["speedup_skew4_vs_spark"] = round(
         speedup(spark_seconds, skew4), 2)
     benchmark.pedantic(

@@ -18,6 +18,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
+from _util import record_bench
 from repro.bench import print_series
 from repro.offline.scheduling import lpt_makespan
 
@@ -62,6 +63,9 @@ def test_fig14_thread_scaling(benchmark, microbench_online):
     assert latency_ms[-1] < latency_ms[0] * 20
     assert latency_ms[-1] < 50  # stays in the low-millisecond band
 
+    record_bench("fig14_threads",
+                 throughput_32_over_1=throughput[-1] / throughput[0],
+                 tp50_latency_ms_at_32=latency_ms[-1])
     benchmark.extra_info["throughput_32_over_1"] = round(
         throughput[-1] / throughput[0], 1)
     benchmark.pedantic(db.request_row, args=("bench", requests[0]),

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import pytest
 
+from _util import record_bench
 from repro.baselines import SparkBatchEngine
 from repro.bench import print_table, speedup
 from repro.offline.skew import SkewConfig
@@ -118,6 +119,10 @@ def test_fig8_offline_microbench(benchmark):
     assert multi_speedup > single_speedup  # parallel windows add on top
     assert skew_speedup > single_speedup   # skew resolver adds on top
 
+    record_bench("fig8_offline_microbench",
+                 single_window_speedup=single_speedup,
+                 multi_window_speedup=multi_speedup,
+                 skewed_speedup=skew_speedup)
     benchmark.extra_info["speedups"] = {
         "single": round(single_speedup, 2),
         "multi": round(multi_speedup, 2),

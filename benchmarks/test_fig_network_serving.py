@@ -85,7 +85,7 @@ def test_network_path_vs_in_process(benchmark, network_stack):
     inprocess = closed_loop(
         CLIENTS, ITERS,
         lambda cid, i: frontend.request("feat", _row(cid, i)))
-    assert not inprocess.errors
+    assert not inprocess.timed_out and not inprocess.errors
 
     def connect(cid):
         client = NetClient(host, port)
@@ -96,7 +96,7 @@ def test_network_path_vs_in_process(benchmark, network_stack):
         CLIENTS, ITERS,
         lambda client, i: client.execute("s0", _row(0, i)),
         setup=connect, teardown=NetClient.close)
-    assert not network.errors
+    assert not network.timed_out and not network.errors
     assert network.completed == CLIENTS * ITERS
 
     inprocess_stats = inprocess.stats()
@@ -154,6 +154,7 @@ def test_wire_errors_are_typed_under_overload(benchmark, network_stack):
         server.close()
         slow_frontend.close()
 
+    assert not result.timed_out
     shed = [e for e in result.errors if isinstance(e, ServerError)]
     assert len(shed) == len(result.errors)  # only typed server errors
     assert all(e.sqlstate.startswith("53") for e in shed)

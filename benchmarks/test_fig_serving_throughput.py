@@ -69,14 +69,14 @@ def test_batched_frontend_beats_serial_throughput(benchmark,
     serial = closed_loop(
         CLIENTS, iters,
         lambda cid, i: cluster.request("feat", rows[i % HOT_ROWS]))
-    assert not serial.errors
+    assert not serial.timed_out and not serial.errors
 
     with FrontendServer(cluster, obs=obs, max_queue=256, workers=2,
                         max_batch=8, max_wait_ms=1.0) as frontend:
         front = closed_loop(
             CLIENTS, iters,
             lambda cid, i: frontend.request("feat", rows[i % HOT_ROWS]))
-    assert not front.errors
+    assert not front.timed_out and not front.errors
 
     serial_qps = serial.qps
     front_qps = front.qps
@@ -118,6 +118,7 @@ def test_shedding_bounds_tail_latency(benchmark, serving_cluster):
                     lambda cid, i: frontend.request(
                         "feat", (cid % HOT_ROWS,
                                  ANCHOR_TS + cid * 100 + i, 0.0)))
+            assert not result.timed_out  # partial runs must fail loudly
             return result.latencies, result.errors
 
         queued_lat, queued_errors = run(max_queue=4_096,

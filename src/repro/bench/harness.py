@@ -99,6 +99,10 @@ class ClosedLoopResult:
     wall_seconds: float
     latencies: List[float]          # per-success latency, seconds
     errors: List[BaseException]     # exceptions raised by ``call``
+    #: True when a client thread was still running at ``join_timeout``;
+    #: ``latencies``/``qps`` then describe a *partial* run and must not
+    #: be reported as a completed benchmark.
+    timed_out: bool = False
 
     @property
     def completed(self) -> int:
@@ -135,6 +139,11 @@ def closed_loop(clients: int, iters: int,
     A call that raises is recorded in ``errors`` and does not produce
     a latency sample; the thread carries on.  Setup/teardown run
     outside the timed region.
+
+    If any client thread is still running after ``join_timeout`` the
+    result is marked ``timed_out`` and a ``TimeoutError`` is appended to
+    ``errors`` — a partial run must fail loudly, not masquerade as a
+    fast one (benchmarks assert ``not result.timed_out``).
     """
     barrier = threading.Barrier(clients)
     latencies: List[float] = []
@@ -167,11 +176,19 @@ def closed_loop(clients: int, iters: int,
     wall_start = time.perf_counter()
     for thread in threads:
         thread.start()
+    deadline = time.monotonic() + join_timeout
     for thread in threads:
-        thread.join(timeout=join_timeout)
+        thread.join(timeout=max(deadline - time.monotonic(), 0.0))
+    stragglers = [thread for thread in threads if thread.is_alive()]
+    if stragglers:
+        errors.append(TimeoutError(
+            f"closed_loop: {len(stragglers)}/{clients} client thread(s) "
+            f"still running after join_timeout={join_timeout}s; "
+            "latencies are partial"))
     return ClosedLoopResult(
         wall_seconds=time.perf_counter() - wall_start,
-        latencies=latencies, errors=errors)
+        latencies=latencies, errors=errors,
+        timed_out=bool(stragglers))
 
 
 def speedup(baseline_seconds: float, optimized_seconds: float) -> float:

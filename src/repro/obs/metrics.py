@@ -140,15 +140,31 @@ class Histogram:
 
     def merge(self, other: "Histogram") -> None:
         """Fold another histogram's samples into this one (same layout)."""
-        with other._lock:
-            counts = list(other.counts)
-            count, total = other.count, other.total
-            lo, hi = other.min, other.max
+        self.merge_state(other.state())
+
+    def state(self) -> Dict[str, Any]:
+        """Plain-data snapshot of the full bucket state.
+
+        Unlike the histogram object itself (which carries a lock), the
+        state dict pickles — it is how offline pool workers ship their
+        measurements back for an *exact* fleet-wide merge: the fixed
+        log-bucket layout makes per-bucket counts additive, so merging
+        states loses nothing relative to observing in one process.
+        """
+        with self._lock:
+            return {"counts": list(self.counts), "count": self.count,
+                    "total": self.total, "min": self.min,
+                    "max": self.max}
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        """Fold a :meth:`state` snapshot into this histogram."""
+        counts = state["counts"]
+        lo, hi = state["min"], state["max"]
         with self._lock:
             for slot, bucket_count in enumerate(counts):
                 self.counts[slot] += bucket_count
-            self.count += count
-            self.total += total
+            self.count += state["count"]
+            self.total += state["total"]
             if lo is not None and (self.min is None or lo < self.min):
                 self.min = lo
             if hi is not None and (self.max is None or hi > self.max):

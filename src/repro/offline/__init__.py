@@ -2,11 +2,18 @@
 
 from .engine import OfflineEngine, OfflineStats
 from .hyperloglog import HyperLogLog
+from .partial import (PartialAggregate, WindowKernel, WindowPartialState,
+                      has_partial, make_partial)
+from .pool import ProcessPoolUnavailable, WindowProcessPool, WindowTaskSpec
 from .scheduling import lpt_makespan, worker_loads
+from .shuffle import ExternalSorter, SpillConfig
 from .skew import PartitionTask, SkewConfig, SkewResolver, TaggedRow
 
 __all__ = [
     "OfflineEngine", "OfflineStats", "HyperLogLog", "SkewConfig",
     "SkewResolver", "PartitionTask", "TaggedRow", "lpt_makespan",
-    "worker_loads",
+    "worker_loads", "PartialAggregate", "WindowKernel",
+    "WindowPartialState", "has_partial", "make_partial",
+    "ProcessPoolUnavailable", "WindowProcessPool", "WindowTaskSpec",
+    "ExternalSorter", "SpillConfig",
 ]

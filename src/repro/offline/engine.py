@@ -8,38 +8,65 @@ replay the online engine exactly — a window anchored at row *r* contains
 what makes online/offline feature values consistent (Section 4's unified
 plan, verified by :mod:`repro.core.consistency`).
 
-Two paper optimisations live here:
+Three execution modes share one fold kernel
+(:class:`~repro.offline.partial.WindowKernel`):
+
+* ``serial`` — every window and task in sequence (the oracle);
+* ``thread`` — window tasks pipeline on a thread pool (the default:
+  hermetic, no subprocesses, GIL-bound for CPU work);
+* ``process`` — (key, PART_ID) tasks ship to ``multiprocessing``
+  workers over the storage layer's :class:`RowCodec` wire format
+  (:mod:`repro.offline.pool`) for *real* parallel compute; task times
+  are the workers' measured process times.  Unavailable
+  multiprocessing degrades gracefully to ``thread``.
+
+All three produce byte-identical feature rows (property-tested).
+
+The paper optimisations live here:
 
 * **Multi-window parallel optimisation** (Section 6.1) — windows without
   dependencies run as independent tasks; a hidden *index column* keyed to
   each anchor row lets the final ``ConcatJoin`` (a LAST JOIN on the index)
-  realign per-window feature columns regardless of partition order.  The
-  engine really executes windows concurrently on a thread pool, and also
-  reports per-window measured times so benchmarks can derive the
-  distributed makespan (see :mod:`repro.offline.scheduling`).
+  realign per-window feature columns regardless of partition order.
 * **Time-aware skew resolving** (Section 6.2) — with a
   :class:`~repro.offline.skew.SkewConfig`, each window's per-key groups
-  are split into ``(key, PART_ID)`` tasks along the timestamp quantiles,
-  expanded rows providing cross-partition window context.
+  are split into ``(key, PART_ID)`` tasks along the timestamp quantiles;
+  expanded rows provide cross-partition context, or — with
+  ``merge_partials`` and an eligible frame — carried mergeable partials
+  (:mod:`repro.offline.partial`) replace the copies entirely.
+* **External-sort shuffle** (:mod:`repro.offline.shuffle`) — with a
+  :class:`~repro.offline.shuffle.SpillConfig`, window-source events
+  spill to sorted on-disk runs once the configured byte budget is hit,
+  so inputs larger than memory stream group-at-a-time.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import os
+import pickle
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import (Any, Dict, List, Mapping, Optional, Sequence,
-                    Tuple)
+from typing import (Any, Dict, Iterator, List, Mapping, Optional,
+                    Sequence, Tuple)
 
 from ..errors import ExecutionError
 from ..obs import NULL_OBS, Observability
 from ..schema import Row
 from ..sql.compiler import CompiledQuery, CompiledWindow
+from ..storage.encoding import RowCodec
 from ..storage.memtable import normalize_ts
+from .partial import WindowKernel, WindowPartialState
+from .pool import (ProcessPoolUnavailable, WindowProcessPool,
+                   WindowTaskSpec, decode_events, encode_events)
 from .scheduling import lpt_makespan
+from .shuffle import ExternalSorter, SpillConfig
 from .skew import SkewConfig, SkewResolver
 
 __all__ = ["OfflineEngine", "OfflineStats"]
+
+_MODES = ("serial", "thread", "process")
 
 
 @dataclasses.dataclass
@@ -48,9 +75,11 @@ class OfflineStats:
 
     ``window_seconds`` maps window name → measured compute time.
     ``task_seconds`` lists individual (key, PART_ID) task times across all
-    windows — the inputs to the makespan model.  ``serial_seconds`` is the
-    sum of window times (a serial engine's cost); ``parallel_seconds`` the
-    LPT makespan of the window tasks on ``workers`` workers.
+    windows — the inputs to the makespan model.  In ``process`` mode the
+    task times are each worker's own CPU clock (measured process time);
+    otherwise the parent's ``thread_time``.  ``serial_seconds`` is the
+    sum of window times (a serial engine's cost); ``parallel_seconds``
+    the LPT makespan of the window tasks on ``workers`` workers.
     """
 
     rows: int = 0
@@ -60,9 +89,15 @@ class OfflineStats:
     join_seconds: float = 0.0
     project_seconds: float = 0.0
     workers: int = 1
-    used_parallel_windows: bool = False
+    requested_mode: str = "thread"
+    mode: str = "thread"                 # execution mode actually taken
+    pool_fallback: bool = False          # process requested, threads ran
+    used_process_pool: bool = False
+    used_parallel_windows: bool = False  # multi-window pooling really ran
     used_skew_resolver: bool = False
     tasks: int = 0
+    carry_tasks: int = 0                 # tasks seeded with merged partials
+    shuffle: Dict[str, int] = dataclasses.field(default_factory=dict)
 
     @property
     def task_seconds(self) -> List[float]:
@@ -100,10 +135,18 @@ class OfflineStats:
                 + self.project_seconds)
 
 
-# One window-source event: (ts, tie_breaker, row, anchor_index or None).
+# One window-source event: (source, ts, row, anchor_index or None).
+# source is 0 for the primary table, 1+i for WINDOW UNION table i —
+# it selects the RowCodec when events cross a process boundary.
 # anchor_index is the primary-row position for instance rows, None for
-# rows contributed by WINDOW UNION tables (context only).
-_Event = Tuple[int, Tuple[Any, ...], Row, Optional[int]]
+# rows contributed by union tables (context only).
+_Event = Tuple[int, int, Row, Optional[int]]
+
+# One (key[, PART_ID]) task: (events, emit_flags, carry_chain_id).
+# carry_chain_id is None for expanded-row / plain tasks; tasks sharing
+# a chain id are consecutive partitions of one key whose window context
+# flows through merged partial states instead of expanded rows.
+_TaskUnit = Tuple[List[_Event], List[bool], Optional[int]]
 
 
 class OfflineEngine:
@@ -111,18 +154,41 @@ class OfflineEngine:
 
     Args:
         tables: table name → storage object.
-        workers: simulated cluster width for the makespan model (thread
-            pool size matches it for the real concurrent execution).
+        workers: simulated cluster width for the makespan model (the
+            thread/process pool size matches it for real execution,
+            capped at the host's CPU count for processes).
         obs: observability handle (default disabled).
+        mode: default execution mode — ``"serial"``, ``"thread"`` or
+            ``"process"`` (overridable per :meth:`execute` call).
+        spill: default shuffle spill budget (None = in-memory sort).
+        pool: share an existing :class:`WindowProcessPool` (the engine
+            will not close it); otherwise one is created lazily on the
+            first ``process`` run and owned by the engine.
+        pool_workers: process-pool width (default
+            ``min(workers, cpu_count)``).
     """
 
     def __init__(self, tables: Mapping[str, Any], workers: int = 8,
-                 obs: Optional[Observability] = None) -> None:
+                 obs: Optional[Observability] = None,
+                 mode: str = "thread",
+                 spill: Optional[SpillConfig] = None,
+                 pool: Optional[WindowProcessPool] = None,
+                 pool_workers: Optional[int] = None) -> None:
         if workers <= 0:
             raise ExecutionError("workers must be positive")
+        if mode not in _MODES:
+            raise ExecutionError(f"mode must be one of {_MODES}")
         self._tables = tables
         self.workers = workers
+        self.mode = mode
+        self.spill = spill
         self._obs = obs or NULL_OBS
+        self._pool = pool
+        self._owns_pool = pool is None
+        self._pool_failed = False
+        if pool_workers is None:
+            pool_workers = max(min(workers, os.cpu_count() or 1), 1)
+        self._pool_workers = pool_workers
         registry = self._obs.registry
         self._m_runs = registry.counter("offline.runs")
         self._m_anchors = registry.counter("offline.anchor_rows")
@@ -130,26 +196,65 @@ class OfflineEngine:
         self._m_skew_tasks = registry.counter("offline.skew.tasks")
         self._m_skew_expanded = registry.counter(
             "offline.skew.expanded_rows")
+        self._m_carry_tasks = registry.counter("offline.carry.tasks")
+        self._m_pool_tasks = registry.counter("offline.pool.tasks")
+        self._m_pool_fallbacks = registry.counter("offline.pool.fallbacks")
+        self._m_shuffle_runs = registry.counter("offline.shuffle.runs")
+        self._m_shuffle_rows = registry.counter(
+            "offline.shuffle.spilled_rows")
+        self._m_shuffle_bytes = registry.counter(
+            "offline.shuffle.spilled_bytes")
+
+    def close(self) -> None:
+        """Shut down the owned process pool (shared pools are left up)."""
+        if self._owns_pool and self._pool is not None:
+            self._pool.close()
+            self._pool = None
+            self._pool_failed = False
+
+    def _acquire_pool(self) -> Optional[WindowProcessPool]:
+        """The process pool, or None when multiprocessing can't run."""
+        if self._pool is not None:
+            return self._pool
+        if self._pool_failed:
+            return None
+        try:
+            self._pool = WindowProcessPool(self._pool_workers)
+        except ProcessPoolUnavailable:
+            self._pool_failed = True
+            return None
+        return self._pool
 
     # ------------------------------------------------------------------
 
     def execute(self, compiled: CompiledQuery,
                 parallel_windows: bool = True,
-                skew: Optional[SkewConfig] = None
+                skew: Optional[SkewConfig] = None,
+                mode: Optional[str] = None,
+                spill: Optional[SpillConfig] = None
                 ) -> Tuple[List[Row], OfflineStats]:
         """Run the batch computation; returns (feature rows, stats)."""
+        if mode is None:
+            mode = self.mode
+        if mode not in _MODES:
+            raise ExecutionError(f"mode must be one of {_MODES}")
+        if spill is None:
+            spill = self.spill
         with self._obs.tracer.span("offline.execute",
                                    table=compiled.plan.table,
-                                   workers=self.workers) as root:
-            return self._execute(compiled, parallel_windows, skew, root)
+                                   workers=self.workers,
+                                   mode=mode) as root:
+            return self._execute(compiled, parallel_windows, skew, mode,
+                                 spill, root)
 
     def _execute(self, compiled: CompiledQuery, parallel_windows: bool,
-                 skew: Optional[SkewConfig], root: Any
+                 skew: Optional[SkewConfig], mode: str,
+                 spill: Optional[SpillConfig], root: Any
                  ) -> Tuple[List[Row], OfflineStats]:
         tracer = self._obs.tracer
         plan = compiled.plan
         stats = OfflineStats(workers=self.workers,
-                             used_parallel_windows=parallel_windows,
+                             requested_mode=mode,
                              used_skew_resolver=skew is not None)
         primary = self._tables[plan.table]
         anchors: List[Row] = list(primary.rows())
@@ -173,36 +278,42 @@ class OfflineEngine:
                        for name, window in compiled.windows.items()
                        if window.aggregates]
 
-        def run_window(job: Tuple[str, CompiledWindow]) -> Tuple[str, float,
-                                                                 List[float]]:
-            # thread_time, not perf_counter: when windows run concurrently
-            # on the pool, wall-clock spans would absorb other threads'
-            # GIL slices and double-count work in the makespan model.
-            # The span parent is passed explicitly — pool threads have no
-            # thread-local span stack of their own.
-            name, window = job
-            with tracer.span("offline.window", window=name,
-                             parent=root) as span:
-                window_started = time.thread_time()
-                task_times = self._compute_window(
-                    compiled, window, anchors, aggregate_columns, skew)
-                span.set_tag(tasks=len(task_times))
-            return (name, time.thread_time() - window_started, task_times)
+        pool: Optional[WindowProcessPool] = None
+        if mode == "process":
+            pool = self._acquire_pool()
+            if pool is None:
+                # Degrade gracefully: threads compute the same results.
+                mode = "thread"
+                stats.pool_fallback = True
+                self._m_pool_fallbacks.inc()
+        stats.mode = mode
+        stats.used_process_pool = mode == "process"
+        # The flag reflects the execution path actually taken: a single
+        # window (or serial mode) never pools windows, whatever the
+        # caller asked for.
+        stats.used_parallel_windows = (parallel_windows
+                                       and len(window_jobs) > 1
+                                       and mode != "serial")
 
-        if parallel_windows and len(window_jobs) > 1:
-            with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                outcomes = list(pool.map(run_window, window_jobs))
+        if mode == "process":
+            self._run_windows_process(
+                compiled, window_jobs, anchors, skew, spill, stats,
+                aggregate_columns, pool, parallel_windows, root)
         else:
-            outcomes = [run_window(job) for job in window_jobs]
+            self._run_windows_inprocess(
+                compiled, window_jobs, anchors, skew, spill, stats,
+                aggregate_columns,
+                threaded=stats.used_parallel_windows, root=root)
+
         registry = self._obs.registry
-        for name, seconds, task_times in outcomes:
-            stats.window_seconds[name] = seconds
-            stats.window_tasks[name] = task_times
+        for name, task_times in stats.window_tasks.items():
             stats.tasks += len(task_times)
             self._m_tasks.inc(len(task_times))
-            if self._obs.enabled:
+            if self._obs.enabled and mode != "process":
                 # Per-partition task timings: the skew figures (12–13)
-                # read straight off this distribution's p99/max.
+                # read straight off this distribution's p99/max.  In
+                # process mode the workers' own histogram states were
+                # already merged in (exactly) as results arrived.
                 task_histogram = registry.histogram("offline.task.ms",
                                                     window=name)
                 for task_seconds in task_times:
@@ -266,139 +377,352 @@ class OfflineEngine:
         return combined_rows
 
     # ------------------------------------------------------------------
-    # windows
+    # window-source events and task construction (shared by all modes)
 
-    def _window_events(self, compiled: CompiledQuery,
-                       window: CompiledWindow,
-                       anchors: Sequence[Row]) -> List[_Event]:
-        """Assemble the window's source events in replay order.
+    def _window_codecs(self, compiled: CompiledQuery,
+                       window: CompiledWindow) -> List[RowCodec]:
+        """Per-source row codecs: primary first, then each union."""
+        return [RowCodec(compiled.plan.table_schema)] + [
+            RowCodec(self._tables[name].schema)
+            for name in window.plan.union_tables]
 
-        Replay order is (ts, table, sequence): the order in which an
-        online system would have ingested the same data, which is what
-        makes batch window contents equal the request-time contents.
+    def _window_spec(self, compiled: CompiledQuery,
+                     window: CompiledWindow) -> WindowTaskSpec:
+        plan = compiled.plan
+        return WindowTaskSpec(
+            plan=window.plan, schema=plan.table_schema,
+            table=plan.table, alias=plan.table_alias,
+            union_schemas=tuple(self._tables[name].schema
+                                for name in window.plan.union_tables))
+
+    def _key_groups(self, compiled: CompiledQuery,
+                    window: CompiledWindow, anchors: Sequence[Row],
+                    spill: Optional[SpillConfig], stats: OfflineStats
+                    ) -> Iterator[Tuple[Any, List[_Event]]]:
+        """Yield ``(key, events)`` groups in deterministic key order.
+
+        Replay order within a group is (ts, source, sequence): the
+        order an online system would have ingested the same data,
+        which is what makes batch window contents equal request-time
+        contents.  With a spill budget the grouping runs through the
+        external sorter; otherwise it is an in-memory sort.
         """
         plan = window.plan
-        events: List[_Event] = []
-        for position, anchor in enumerate(anchors):
-            ts = normalize_ts(window.order_value(anchor))
-            events.append((ts, (0, position), anchor, position))
-        for union_position, union_table in enumerate(plan.union_tables):
-            table = self._tables[union_table]
-            for sequence, row in enumerate(table.rows()):
-                ts = normalize_ts(window.order_value(row))
-                events.append((ts, (1 + union_position, sequence), row, None))
-        events.sort(key=lambda event: (event[0], event[1]))
-        return events
-
-    def _compute_window(self, compiled: CompiledQuery,
-                        window: CompiledWindow,
-                        anchors: Sequence[Row],
-                        aggregate_columns: List[List[Any]],
-                        skew: Optional[SkewConfig]) -> List[float]:
-        """Compute one window's aggregates for every anchor.
-
-        Returns the measured per-task times (one task per (key, PART_ID)
-        group — or per key when skew resolving is off).
-        """
-        plan = window.plan
-        events = self._window_events(compiled, window, anchors)
         key_fn = window.partition_key
+        if spill is None:
+            events: List[Tuple[int, int, int, _Event]] = []
+            for position, anchor in enumerate(anchors):
+                ts = normalize_ts(window.order_value(anchor))
+                events.append((ts, 0, position,
+                               (0, ts, anchor, position)))
+            for union_position, union_table in enumerate(plan.union_tables):
+                table = self._tables[union_table]
+                for sequence, row in enumerate(table.rows()):
+                    ts = normalize_ts(window.order_value(row))
+                    events.append((ts, 1 + union_position, sequence,
+                                   (1 + union_position, ts, row, None)))
+            events.sort(key=lambda item: item[:3])
+            grouped: Dict[Any, List[_Event]] = {}
+            for _ts, _source, _seq, event in events:
+                grouped.setdefault(key_fn(event[2]), []).append(event)
+            for key in sorted(grouped, key=str):
+                yield key, grouped[key]
+            return
 
-        if skew is not None:
-            resolver = SkewResolver(skew)
-            tasks = resolver.build_tasks(
-                [event for event in events],
-                key_fn=lambda event: key_fn(event[2]),
-                ts_fn=lambda event: event[0],
+        codecs = self._window_codecs(compiled, window)
+        sorter = ExternalSorter(spill)
+        try:
+            for position, anchor in enumerate(anchors):
+                ts = normalize_ts(window.order_value(anchor))
+                key = key_fn(anchor)
+                sorter.add(
+                    (str(key), pickle.dumps(key), ts, 0, position),
+                    encode_events([(0, ts, anchor, position)], [True],
+                                  codecs))
+            for union_position, union_table in enumerate(plan.union_tables):
+                table = self._tables[union_table]
+                for sequence, row in enumerate(table.rows()):
+                    ts = normalize_ts(window.order_value(row))
+                    key = key_fn(row)
+                    sorter.add(
+                        (str(key), pickle.dumps(key), ts,
+                         1 + union_position, sequence),
+                        encode_events([(1 + union_position, ts, row,
+                                        None)], [True], codecs))
+            current_kp: Optional[Tuple[str, bytes]] = None
+            current_key: Any = None
+            current_events: List[_Event] = []
+            for sort_key, record in sorter.sorted_records():
+                kp = (sort_key[0], sort_key[1])
+                if kp != current_kp:
+                    if current_events:
+                        yield current_key, current_events
+                    current_kp = kp
+                    current_key = pickle.loads(sort_key[1])
+                    current_events = []
+                decoded, _flags = decode_events(record, codecs)
+                ts, row, anchor_index = decoded[0]
+                current_events.append((sort_key[3], ts, row,
+                                       anchor_index))
+            if current_events:
+                yield current_key, current_events
+        finally:
+            sorter.close()
+            shuffle = stats.shuffle
+            shuffle["rows"] = shuffle.get("rows", 0) + sorter.rows
+            shuffle["runs"] = shuffle.get("runs", 0) + sorter.runs
+            shuffle["spilled_rows"] = (shuffle.get("spilled_rows", 0)
+                                       + sorter.spilled_rows)
+            shuffle["spilled_bytes"] = (shuffle.get("spilled_bytes", 0)
+                                        + sorter.spilled_bytes)
+            self._m_shuffle_runs.inc(sorter.runs)
+            self._m_shuffle_rows.inc(sorter.spilled_rows)
+            self._m_shuffle_bytes.inc(sorter.spilled_bytes)
+
+    def _task_units(self, compiled: CompiledQuery,
+                    window: CompiledWindow, kernel: WindowKernel,
+                    anchors: Sequence[Row], skew: Optional[SkewConfig],
+                    spill: Optional[SpillConfig], stats: OfflineStats
+                    ) -> Iterator[_TaskUnit]:
+        """Decompose one window into (key[, PART_ID]) task units."""
+        plan = window.plan
+        resolver = SkewResolver(skew) if skew is not None else None
+        carry_ok = (skew is not None and skew.merge_partials
+                    and kernel.carry_eligible)
+        next_chain = 0
+        for key, events in self._key_groups(compiled, window, anchors,
+                                            spill, stats):
+            if resolver is None:
+                yield events, [True] * len(events), None
+                continue
+            tasks = resolver.key_tasks(
+                key, [(event[1], event) for event in events],
                 range_ms=plan.range_preceding_ms,
-                rows_preceding=plan.rows_preceding)
+                rows_preceding=plan.rows_preceding,
+                augment=not carry_ok)
             self._m_skew_tasks.inc(len(tasks))
+            if carry_ok and len(tasks) > 1:
+                chain = next_chain
+                next_chain += 1
+                stats.carry_tasks += len(tasks)
+                self._m_carry_tasks.inc(len(tasks))
+                for task in tasks:
+                    yield ([tagged.row for tagged in task.rows],
+                           [True] * len(task.rows), chain)
+                continue
             expanded = sum(1 for task in tasks
                            for tagged in task.rows if tagged.expanded)
             if expanded:
                 self._m_skew_expanded.inc(expanded)
-            task_groups = [
-                ([tagged.row for tagged in task.rows],
-                 [not tagged.expanded for tagged in task.rows])
-                for task in tasks
-            ]
-        else:
-            grouped: Dict[Any, List[_Event]] = {}
-            for event in events:
-                grouped.setdefault(key_fn(event[2]), []).append(event)
-            task_groups = [
-                (group, [True] * len(group))
-                for group in (grouped[key] for key in sorted(
-                    grouped, key=str))
-            ]
-
-        task_times: List[float] = []
-        for group_events, emit_flags in task_groups:
-            started = time.thread_time()
-            self._run_group(window, group_events, emit_flags,
-                            aggregate_columns)
-            task_times.append(time.thread_time() - started)
-        return task_times
-
-    def _run_group(self, window: CompiledWindow,
-                   group_events: Sequence[_Event],
-                   emit_flags: Sequence[bool],
-                   aggregate_columns: List[List[Any]]) -> None:
-        """Slide one (key[, PART_ID]) group through the window frame."""
-        from ..online.incremental import SlidingWindowAggregator
-
-        plan = window.plan
-        functions = [(compiled_agg.binding.func_name,
-                      compiled_agg.binding.constants)
-                     for compiled_agg in window.aggregates]
-        extractors = [compiled_agg.arg_fn
-                      for compiled_agg in window.aggregates]
-        slots = [compiled_agg.slot for compiled_agg in window.aggregates]
-        include_current = not (plan.exclude_current_row
-                               or plan.instance_not_in_window)
-        max_rows = plan.rows_preceding
-        if max_rows is not None and not include_current:
-            max_rows = max(max_rows - 1, 0)
-        if plan.maxsize is not None:
-            max_rows = (plan.maxsize if max_rows is None
-                        else min(max_rows, plan.maxsize))
-        aggregator = SlidingWindowAggregator(
-            functions, extractors,
-            range_ms=plan.range_preceding_ms, max_rows=max_rows)
-
-        for event, emit in zip(group_events, emit_flags):
-            ts, _tie, row, anchor_index = event
-            is_instance = anchor_index is not None
-            if not is_instance:
-                aggregator.insert(ts, row)
-                continue
-            if include_current:
-                aggregator.insert(ts, row)
-                if emit:
-                    self._emit(aggregator.results(), slots, anchor_index,
-                               aggregate_columns)
-            elif plan.instance_not_in_window:
-                # Instance rows never enter the window; the anchor itself
-                # participates transiently unless also excluded.
-                aggregator.evict_to(ts)
-                if emit:
-                    values = (aggregator.results()
-                              if plan.exclude_current_row
-                              else aggregator.results_with(row))
-                    self._emit(values, slots, anchor_index,
-                               aggregate_columns)
-            else:
-                # EXCLUDE CURRENT_ROW: evaluate the frame anchored at ts
-                # before adding the row (it joins later windows).
-                aggregator.evict_to(ts)
-                if emit:
-                    self._emit(aggregator.results(), slots, anchor_index,
-                               aggregate_columns)
-                aggregator.insert(ts, row)
+            for task in tasks:
+                yield ([tagged.row for tagged in task.rows],
+                       [not tagged.expanded for tagged in task.rows],
+                       None)
 
     @staticmethod
-    def _emit(values: Sequence[Any], slots: Sequence[int],
-              anchor_index: int,
-              aggregate_columns: List[List[Any]]) -> None:
-        for slot, value in zip(slots, values):
-            aggregate_columns[anchor_index][slot] = value
+    def _strip_sources(events: Sequence[_Event]
+                       ) -> List[Tuple[int, Row, Optional[int]]]:
+        return [(ts, row, anchor) for _source, ts, row, anchor in events]
+
+    def _apply_emits(self, emits: Sequence[Tuple[int, Sequence[Any]]],
+                     slots: Sequence[int],
+                     aggregate_columns: List[List[Any]]) -> None:
+        for anchor_index, values in emits:
+            row_slots = aggregate_columns[anchor_index]
+            for slot, value in zip(slots, values):
+                row_slots[slot] = value
+
+    # ------------------------------------------------------------------
+    # in-process execution (serial / thread modes)
+
+    def _run_windows_inprocess(self, compiled: CompiledQuery,
+                               window_jobs: Sequence[
+                                   Tuple[str, CompiledWindow]],
+                               anchors: Sequence[Row],
+                               skew: Optional[SkewConfig],
+                               spill: Optional[SpillConfig],
+                               stats: OfflineStats,
+                               aggregate_columns: List[List[Any]],
+                               threaded: bool, root: Any) -> None:
+        tracer = self._obs.tracer
+
+        def run_window(job: Tuple[str, CompiledWindow]
+                       ) -> Tuple[str, float, List[float]]:
+            # thread_time, not perf_counter: when windows run concurrently
+            # on the pool, wall-clock spans would absorb other threads'
+            # GIL slices and double-count work in the makespan model.
+            # The span parent is passed explicitly — pool threads have no
+            # thread-local span stack of their own.
+            name, window = job
+            with tracer.span("offline.window", window=name,
+                             parent=root) as span:
+                window_started = time.thread_time()
+                kernel = WindowKernel(window)
+                task_times: List[float] = []
+                carry_states: Dict[int, List[Any]] = {}
+                for events, emit_flags, chain in self._task_units(
+                        compiled, window, kernel, anchors, skew, spill,
+                        stats):
+                    started = time.thread_time()
+                    stripped = self._strip_sources(events)
+                    if chain is None:
+                        emits = kernel.fold(stripped, emit_flags)
+                    else:
+                        # Carry path: seed with the running merged
+                        # partials of this key's earlier partitions;
+                        # the fold's end state is the next seed.
+                        seed = carry_states.get(chain)
+                        if seed is None:
+                            seed = kernel.partials.init()
+                        emits, end_states = kernel.seeded_fold(
+                            stripped, emit_flags, seed)
+                        carry_states[chain] = end_states
+                    self._apply_emits(emits, kernel.slots,
+                                      aggregate_columns)
+                    task_times.append(time.thread_time() - started)
+                span.set_tag(tasks=len(task_times))
+            return (name, time.thread_time() - window_started, task_times)
+
+        if threaded:
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                outcomes = list(pool.map(run_window, window_jobs))
+        else:
+            outcomes = [run_window(job) for job in window_jobs]
+        for name, seconds, task_times in outcomes:
+            stats.window_seconds[name] = seconds
+            stats.window_tasks[name] = task_times
+
+    # ------------------------------------------------------------------
+    # process-pool execution
+
+    def _run_windows_process(self, compiled: CompiledQuery,
+                             window_jobs: Sequence[
+                                 Tuple[str, CompiledWindow]],
+                             anchors: Sequence[Row],
+                             skew: Optional[SkewConfig],
+                             spill: Optional[SpillConfig],
+                             stats: OfflineStats,
+                             aggregate_columns: List[List[Any]],
+                             pool: WindowProcessPool,
+                             parallel_windows: bool, root: Any) -> None:
+        """Ship (key, PART_ID) tasks to worker processes.
+
+        Two-phase: carried-partial chains first compute per-partition
+        *segment* states (map), the parent prefix-merges them into
+        seeds, then every emitting task — plain folds went out in phase
+        one already — runs as a seeded fold (reduce).  With the
+        multi-window optimisation all windows share both phases; without
+        it each window runs its phases as a stage barrier.
+        """
+        if parallel_windows:
+            batches = [list(window_jobs)]
+        else:
+            batches = [[job] for job in window_jobs]
+        for batch in batches:
+            self._run_window_batch_process(
+                compiled, batch, anchors, skew, spill, stats,
+                aggregate_columns, pool, root)
+
+    def _run_window_batch_process(self, compiled: CompiledQuery,
+                                  batch: Sequence[
+                                      Tuple[str, CompiledWindow]],
+                                  anchors: Sequence[Row],
+                                  skew: Optional[SkewConfig],
+                                  spill: Optional[SpillConfig],
+                                  stats: OfflineStats,
+                                  aggregate_columns: List[List[Any]],
+                                  pool: WindowProcessPool,
+                                  root: Any) -> None:
+        tracer = self._obs.tracer
+        registry = self._obs.registry
+        phase_a: List[Any] = []      # futures
+        # Per future: (window name, kernel, expected result kind).
+        phase_a_meta: List[Tuple[str, WindowKernel, str]] = []
+        # (window, chain) → ordered [(phase-A index, blob, spec,
+        # spec_key)] of the chain's partitions, awaiting seeds.
+        chains: Dict[Tuple[str, int],
+                     List[Tuple[int, bytes, WindowTaskSpec, str]]] = {}
+        kernels: Dict[str, WindowKernel] = {}
+        prep_seconds: Dict[str, float] = {}
+
+        for name, window in batch:
+            with tracer.span("offline.window", window=name,
+                             parent=root) as span:
+                prep_started = time.thread_time()
+                kernel = WindowKernel(window)
+                kernels[name] = kernel
+                codecs = self._window_codecs(compiled, window)
+                spec = self._window_spec(compiled, window)
+                spec_key = hashlib.sha1(pickle.dumps(spec)).hexdigest()
+                task_count = 0
+                for events, emit_flags, chain in self._task_units(
+                        compiled, window, kernel, anchors, skew, spill,
+                        stats):
+                    blob = encode_events(events, emit_flags, codecs)
+                    task_count += 1
+                    self._m_pool_tasks.inc()
+                    if chain is None:
+                        phase_a.append(pool.submit(
+                            ("fold", spec_key, spec, blob, None)))
+                        phase_a_meta.append((name, kernel, "emits"))
+                    else:
+                        phase_a.append(pool.submit(
+                            ("segment", spec_key, spec, blob, None)))
+                        phase_a_meta.append((name, kernel, "states"))
+                        chains.setdefault((name, chain), []).append(
+                            (len(phase_a) - 1, blob, spec, spec_key))
+                span.set_tag(tasks=task_count)
+                prep_seconds[name] = time.thread_time() - prep_started
+
+        # Gather phase A: apply fold emits, collect segment states.
+        segment_states: Dict[int, List[Any]] = {}
+        for index, (future, (name, kernel, expect)) in enumerate(
+                zip(phase_a, phase_a_meta)):
+            result_kind, result, cpu_seconds, hist_state = future.result()
+            if result_kind != expect:  # pragma: no cover - protocol guard
+                raise ExecutionError(
+                    f"worker returned {result_kind}, expected {expect}")
+            self._record_worker_task(stats, registry, name, cpu_seconds,
+                                     hist_state)
+            if result_kind == "emits":
+                self._apply_emits(result, kernel.slots, aggregate_columns)
+            else:
+                segment_states[index] = result
+
+        # Phase B: prefix-merge segment states into seeds, re-fold each
+        # partition from its seed to emit values.
+        phase_b: List[Any] = []
+        phase_b_meta: List[Tuple[str, WindowKernel]] = []
+        for (name, _chain), parts in chains.items():
+            kernel = kernels[name]
+            partials = kernel.partials
+            carry = partials.init()
+            for future_index, blob, spec, spec_key in parts:
+                seed = WindowPartialState.copy_states(carry)
+                phase_b.append(pool.submit(
+                    ("carry", spec_key, spec, blob, seed)))
+                phase_b_meta.append((name, kernel))
+                self._m_pool_tasks.inc()
+                carry = partials.merge(carry,
+                                       segment_states[future_index])
+        for future, (name, kernel) in zip(phase_b, phase_b_meta):
+            result_kind, result, cpu_seconds, hist_state = future.result()
+            self._record_worker_task(stats, registry, name, cpu_seconds,
+                                     hist_state)
+            self._apply_emits(result, kernel.slots, aggregate_columns)
+
+        for name in kernels:
+            task_times = stats.window_tasks.setdefault(name, [])
+            stats.window_seconds[name] = (
+                prep_seconds.get(name, 0.0) + sum(task_times))
+
+    def _record_worker_task(self, stats: OfflineStats, registry: Any,
+                            name: str, cpu_seconds: float,
+                            hist_state: Dict[str, Any]) -> None:
+        stats.window_tasks.setdefault(name, []).append(cpu_seconds)
+        if self._obs.enabled:
+            # Exact fleet-wide merge: the worker measured its own task
+            # on its own clock and shipped the log-bucket state; merging
+            # states is lossless, unlike re-observing a rounded value.
+            registry.histogram("offline.task.ms",
+                               window=name).merge_state(hist_state)

@@ -46,6 +46,13 @@ class SkewConfig:
     quantile: int = 2
     min_partition_rows: int = 64
     hll_precision: int = 12
+    #: Replace expanded-row context with carried mergeable partials
+    #: where the window frame allows it (unbounded frames whose
+    #: aggregates all have bit-exact merges) — the map-reduce form of
+    #: the same repartitioning.  Off by default: expansion works for
+    #: every frame; carrying is the optimisation that removes the
+    #: full-history copies unbounded frames otherwise need.
+    merge_partials: bool = False
 
     def __post_init__(self) -> None:
         if self.quantile < 1:
@@ -85,6 +92,10 @@ class SkewResolver:
 
     def __init__(self, config: SkewConfig = SkewConfig()) -> None:
         self.config = config
+        # Sampling decisions of the latest partition_boundaries call
+        # (pinned by tests: the HLL estimate drives the stride).
+        self.last_sample_stride = 1
+        self.last_sample_size = 0
 
     # ------------------------------------------------------------------
 
@@ -102,12 +113,20 @@ class SkewResolver:
         sketch = HyperLogLog(self.config.hll_precision)
         sketch.update(ts_values)
         estimated = max(int(sketch.cardinality()), 1)
-        # Sample enough points for stable percentiles, bounded well below
-        # a full sort of the raw data.
-        sample_target = min(len(ts_values), max(quantile * 256, 1024))
+        # The estimate chooses the sampling stride: duplicate-heavy ts
+        # columns (few distinct values) cannot yield more percentile
+        # resolution than ~a few points per distinct value, so sampling
+        # past that is dead work.  Distinct-heavy columns keep the flat
+        # cap — enough points for stable percentiles, bounded well
+        # below a full sort of the raw data.
+        sample_target = max(quantile,
+                            min(len(ts_values),
+                                max(quantile * 256, 1024),
+                                estimated * 4))
         step = max(len(ts_values) // sample_target, 1)
         sample = sorted(ts_values[::step])
-        del estimated  # cardinality guided the need to sample at all
+        self.last_sample_stride = step
+        self.last_sample_size = len(sample)
         boundaries = []
         for index in range(1, quantile):
             position = (index * len(sample)) // quantile
@@ -131,8 +150,8 @@ class SkewResolver:
                     key_fn: Callable[[Tuple[Any, ...]], Any],
                     ts_fn: Callable[[Tuple[Any, ...]], int],
                     range_ms: Optional[int] = None,
-                    rows_preceding: Optional[int] = None
-                    ) -> List[PartitionTask]:
+                    rows_preceding: Optional[int] = None,
+                    augment: bool = True) -> List[PartitionTask]:
         """Steps 1–4: tag, augment, and redistribute ``rows``.
 
         Args:
@@ -140,6 +159,9 @@ class SkewResolver:
             key_fn / ts_fn: extract the partition key and ORDER BY ts.
             range_ms: window time lookback (for augmentation width).
             rows_preceding: window row-count lookback (ditto).
+            augment: prepend expanded-row context (step 3).  The
+                engine's carry path passes ``False`` — carried mergeable
+                partials replace the copies entirely.
 
         Returns:
             Tasks sorted by (key, part_id); each task's rows time-ordered
@@ -152,28 +174,46 @@ class SkewResolver:
         tasks: List[PartitionTask] = []
         for key, keyed in sorted(by_key.items(), key=lambda item: str(item[0])):
             keyed.sort(key=lambda pair: pair[0])
-            if len(keyed) < self.config.min_partition_rows \
-                    or self.config.quantile <= 1:
-                tasks.append(PartitionTask(key=key, part_id=0, rows=[
-                    TaggedRow(row=row, key=key, ts=ts, part_id=0)
-                    for ts, row in keyed]))
-                continue
-            boundaries = self.partition_boundaries(
-                [ts for ts, _row in keyed])
-            partitions: Dict[int, List[TaggedRow]] = {}
-            for ts, row in keyed:
-                part = self._part_for(ts, boundaries)
-                partitions.setdefault(part, []).append(
-                    TaggedRow(row=row, key=key, ts=ts, part_id=part))
-            ordered_parts = sorted(partitions)
-            for position, part in enumerate(ordered_parts):
-                own = partitions[part]
+            tasks.extend(self.key_tasks(key, keyed, range_ms=range_ms,
+                                        rows_preceding=rows_preceding,
+                                        augment=augment))
+        return tasks
+
+    def key_tasks(self, key: Any,
+                  keyed: Sequence[Tuple[int, Tuple[Any, ...]]],
+                  range_ms: Optional[int] = None,
+                  rows_preceding: Optional[int] = None,
+                  augment: bool = True) -> List[PartitionTask]:
+        """Split one key's time-ordered ``(ts, row)`` rows into tasks.
+
+        Factored out of :meth:`build_tasks` so the engine's spill-sorted
+        stream — which already arrives grouped by key — can feed each
+        contiguous group straight in without regrouping.
+        """
+        if len(keyed) < self.config.min_partition_rows \
+                or self.config.quantile <= 1:
+            return [PartitionTask(key=key, part_id=0, rows=[
+                TaggedRow(row=row, key=key, ts=ts, part_id=0)
+                for ts, row in keyed])]
+        boundaries = self.partition_boundaries(
+            [ts for ts, _row in keyed])
+        partitions: Dict[int, List[TaggedRow]] = {}
+        for ts, row in keyed:
+            part = self._part_for(ts, boundaries)
+            partitions.setdefault(part, []).append(
+                TaggedRow(row=row, key=key, ts=ts, part_id=part))
+        ordered_parts = sorted(partitions)
+        tasks: List[PartitionTask] = []
+        for position, part in enumerate(ordered_parts):
+            own = partitions[part]
+            expanded: List[TaggedRow] = []
+            if augment:
                 expanded = self._augment(
                     [partitions[p] for p in ordered_parts[:position]],
                     first_own_ts=own[0].ts,
                     range_ms=range_ms, rows_preceding=rows_preceding)
-                tasks.append(PartitionTask(
-                    key=key, part_id=part, rows=expanded + own))
+            tasks.append(PartitionTask(
+                key=key, part_id=part, rows=expanded + own))
         return tasks
 
     @staticmethod

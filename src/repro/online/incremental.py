@@ -62,6 +62,19 @@ class SlidingWindowAggregator:
             relative to the newest timestamp *seen*, which is what
             request-mode state needs — a late-arriving old tuple must
             not un-slide the window.
+        stream_ordered: promise that inserts arrive in non-decreasing
+            timestamp order.  When the frame also never evicts
+            (``range_ms`` and ``max_rows`` both None), *every* aggregate
+            — including order-sensitive and non-invertible ones — can
+            fold incrementally: the running state's add sequence equals
+            the oldest→newest recomputation, so :meth:`results` is O(1)
+            per call instead of O(window).  The offline engine's group
+            folds set this (events are pre-sorted); a violating
+            out-of-order insert quietly demotes the affected aggregates
+            back to recomputation, so the promise is an optimisation,
+            never a correctness obligation.  Callers using
+            :meth:`results_with` / :meth:`results_at` transient rows
+            must leave it off — those paths need ``remove``.
 
     The buffer is kept sorted by timestamp (ties: arrival order, i.e. a
     later arrival sorts after earlier equal-ts entries — matching the
@@ -72,7 +85,8 @@ class SlidingWindowAggregator:
                  arg_extractors: Sequence[Callable[[Any], Tuple[Any, ...]]],
                  range_ms: Optional[int] = None,
                  max_rows: Optional[int] = None,
-                 evict_anchor: str = "insert") -> None:
+                 evict_anchor: str = "insert",
+                 stream_ordered: bool = False) -> None:
         if len(functions) != len(arg_extractors):
             raise ValueError("functions/arg_extractors length mismatch")
         if evict_anchor not in ("insert", "newest"):
@@ -89,8 +103,16 @@ class SlidingWindowAggregator:
         self._start = 0
         self._newest: Optional[int] = None
         self._states: List[Any] = [fn.create() for fn in self._functions]
-        self._dirty = [fn.order_sensitive or not fn.invertible
-                       for fn in self._functions]
+        # With ordered inserts and a frame that never evicts, the
+        # running state's add order *is* time order, so even
+        # order-sensitive / non-invertible aggregates stay clean.
+        self._stream_ordered = (stream_ordered and range_ms is None
+                                and max_rows is None)
+        if self._stream_ordered:
+            self._dirty = [False] * len(self._functions)
+        else:
+            self._dirty = [fn.order_sensitive or not fn.invertible
+                           for fn in self._functions]
         self.recomputations = 0
         self.incremental_updates = 0
 
@@ -127,6 +149,14 @@ class SlidingWindowAggregator:
             position = bisect_right(ts_list, ts, self._start, len(ts_list))
             ts_list.insert(position, ts)
             self._args.insert(position, args)
+            if self._stream_ordered:
+                # The ordering promise was broken: demote the
+                # aggregates whose clean state depended on it back to
+                # recomputation over the (sorted) buffer.
+                self._stream_ordered = False
+                for index, function in enumerate(self._functions):
+                    if function.order_sensitive or not function.invertible:
+                        self._dirty[index] = True
         for index, function in enumerate(self._functions):
             if not self._dirty[index]:
                 function.add(self._states[index], *args[index])

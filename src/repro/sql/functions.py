@@ -46,6 +46,12 @@ class AggregateFunction:
     invertible: bool = False
     mergeable: bool = False
     order_sensitive: bool = False
+    #: ``merge`` replays the exact operation sequence of continuing a
+    #: serial fold (not just an algebraic equivalent).  Aggregates whose
+    #: merge is an approximation under some inputs must clear this so
+    #: the offline carry path excludes them (pre-aggregation still uses
+    #: the merge — its contract is the looser algebraic one).
+    merge_exact: bool = True
 
     def __init__(self, *constants: Any) -> None:
         if len(constants) != self.extra_args:
@@ -534,6 +540,13 @@ class DrawdownAgg(AggregateFunction):
     name = "drawdown"
     order_sensitive = True
     mergeable = True
+    # The segment merge is exact only for positive series: a segment's
+    # standalone drawdown uses its *internal* peak, which a larger
+    # carried-in peak would supersede — with negative troughs the ratio
+    # overestimates (e.g. [5, -10] alone gives 3.0, continued from peak
+    # 20 gives 1.5).  Pre-aggregation accepts that domain assumption;
+    # the carry path must not.
+    merge_exact = False
 
     def create(self):
         # running peak, global max, global min, max drawdown

@@ -1,10 +1,13 @@
 """Tests for the benchmark harness utilities."""
 
+import threading
+import time
+
 import pytest
 
-from repro.bench.harness import (LatencyStats, measure_latencies,
-                                 measure_throughput, print_series,
-                                 print_table, speedup)
+from repro.bench.harness import (LatencyStats, closed_loop,
+                                 measure_latencies, measure_throughput,
+                                 print_series, print_table, speedup)
 
 
 class TestLatencyStats:
@@ -50,6 +53,57 @@ class TestMeasurement:
     def test_speedup(self):
         assert speedup(10.0, 2.0) == 5.0
         assert speedup(1.0, 0.0) == float("inf")
+
+
+class TestClosedLoop:
+    def test_completed_run_not_timed_out(self):
+        result = closed_loop(4, 5, lambda cid, i: None)
+        assert not result.timed_out
+        assert not result.errors
+        assert result.completed == 20
+
+    def test_call_errors_recorded_not_timed_out(self):
+        def call(cid, i):
+            if i == 0:
+                raise ValueError("boom")
+
+        result = closed_loop(2, 3, call)
+        assert not result.timed_out
+        assert len(result.errors) == 2
+        assert result.completed == 4
+
+    def test_straggler_marks_timed_out(self):
+        # Regression: a thread outliving join_timeout used to return
+        # partial latencies silently — it must be loud.
+        release = threading.Event()
+
+        def call(cid, i):
+            if cid == 0:
+                release.wait(timeout=30)
+
+        result = closed_loop(3, 1, call, join_timeout=0.2)
+        try:
+            assert result.timed_out
+            assert any(isinstance(e, TimeoutError) for e in result.errors)
+            assert result.completed < 3  # partial, and marked as such
+        finally:
+            release.set()
+            time.sleep(0.05)
+
+    def test_join_timeout_is_a_shared_deadline(self):
+        # All stragglers are bounded by ONE deadline, not timeout each.
+        release = threading.Event()
+
+        def call(cid, i):
+            release.wait(timeout=30)
+
+        started = time.perf_counter()
+        result = closed_loop(4, 1, call, join_timeout=0.3)
+        elapsed = time.perf_counter() - started
+        release.set()
+        assert result.timed_out
+        assert elapsed < 0.3 * 4  # far below per-thread accumulation
+        time.sleep(0.05)
 
 
 class TestPrinting:

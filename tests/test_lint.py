@@ -68,3 +68,66 @@ def test_dangling_reference_is_a_finding(tmp_path):
 
 def test_docs_only_cli_mode(capsys):
     assert lint.main(["--docs"]) == 0
+
+
+class TestAggregateMergeCoverage:
+    """AGG001 — every registered aggregate has a merge route."""
+
+    def test_repo_registry_is_fully_covered(self):
+        findings = list(lint.check_aggregate_merge_coverage(ROOT))
+        assert findings == [], findings
+
+    def test_wrapper_names_read_from_partial_module(self):
+        wrappers = lint._wrapper_partial_names(ROOT)
+        assert {"ew_avg", "lag"} <= wrappers
+
+    @staticmethod
+    def _write_registry(root, *, wrapper_keys, extra_class=""):
+        (root / "src/repro/sql").mkdir(parents=True)
+        (root / "src/repro/offline").mkdir(parents=True)
+        (root / "src/repro/sql/functions.py").write_text(
+            "class AggregateFunction:\n"
+            "    name = ''\n"
+            "    def merge(self, a, b):\n"
+            "        raise RuntimeError\n"
+            "class SumAgg(AggregateFunction):\n"
+            "    name = 'sum'\n"
+            "    def merge(self, a, b):\n"
+            "        return a\n"
+            "class InheritingAgg(SumAgg):\n"
+            "    name = 'inheriting'\n"
+            "class WrappedAgg(AggregateFunction):\n"
+            "    name = 'wrapped'\n"
+            + extra_class +
+            "_AGGREGATE_CLASSES = {cls.name: cls for cls in (\n"
+            "    SumAgg, InheritingAgg, WrappedAgg, "
+            + ("OrphanAgg," if extra_class else "") + ")}\n")
+        wrappers = ", ".join(f"'{key}': object" for key in wrapper_keys)
+        (root / "src/repro/offline/partial.py").write_text(
+            "from typing import Dict\n"
+            "_PARTIAL_WRAPPERS: Dict[str, type] = {%s}\n" % wrappers)
+
+    def test_missing_merge_route_is_a_finding(self, tmp_path):
+        self._write_registry(
+            tmp_path, wrapper_keys=["wrapped"],
+            extra_class=("class OrphanAgg(AggregateFunction):\n"
+                         "    name = 'orphan'\n"))
+        findings = list(lint.check_aggregate_merge_coverage(tmp_path))
+        assert len(findings) == 1
+        path, _line, _col, code, message = findings[0]
+        assert code == "AGG001"
+        assert "orphan" in message
+        assert path == "src/repro/sql/functions.py"
+
+    def test_merge_and_wrapper_routes_both_satisfy(self, tmp_path):
+        # sum has its own merge, inheriting gets it from a base class,
+        # wrapped is in _PARTIAL_WRAPPERS: nothing to report — the
+        # abstract base's raising merge never counts as a route.
+        self._write_registry(tmp_path, wrapper_keys=["wrapped"])
+        assert list(lint.check_aggregate_merge_coverage(tmp_path)) == []
+
+    def test_wrapper_removal_detected(self, tmp_path):
+        self._write_registry(tmp_path, wrapper_keys=[])
+        findings = list(lint.check_aggregate_merge_coverage(tmp_path))
+        assert [f[3] for f in findings] == ["AGG001"]
+        assert "wrapped" in findings[0][4]

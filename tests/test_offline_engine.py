@@ -133,8 +133,11 @@ class TestParallelWindows:
         assert not serial_stats.used_parallel_windows
 
     def test_parallel_makespan_not_worse(self):
-        # A dataset large enough that timer noise cannot flip the
-        # comparison: pooled scheduling must not lose to staged stages.
+        # Pooled scheduling must not lose to staged window barriers.
+        # Both schedules are evaluated over the SAME measured task
+        # times (one run), so timer noise between runs cannot flip the
+        # comparison — this checks the makespan model, not the clock.
+        from repro.offline.scheduling import lpt_makespan
         schema = Schema.from_pairs([
             ("sym", "string"), ("ts", "timestamp"), ("px", "double")])
         table = MemTable("trades", schema, [IndexDef(("sym",), "ts")])
@@ -142,10 +145,12 @@ class TestParallelWindows:
             for index in range(400):
                 table.insert((f"s{key}", index * 10, float(index % 7)))
         engine, compiled = build(self.MULTI, {"trades": table})
-        _, parallel_stats = engine.execute(compiled, parallel_windows=True)
-        _, serial_stats = engine.execute(compiled, parallel_windows=False)
-        assert parallel_stats.parallel_seconds \
-            <= serial_stats.parallel_seconds * 1.25 + 1e-4
+        _, stats = engine.execute(compiled, parallel_windows=True)
+        assert stats.used_parallel_windows
+        pooled = stats.parallel_seconds
+        staged = sum(lpt_makespan(tasks, stats.workers)
+                     for tasks in stats.window_tasks.values() if tasks)
+        assert pooled <= staged + 1e-9
 
     def test_task_accounting(self, trades):
         engine, compiled = build(self.MULTI, {"trades": trades})
@@ -205,6 +210,89 @@ class TestSkewResolving:
         skew_rows, _ = engine.execute(
             compiled, skew=SkewConfig(quantile=3, min_partition_rows=50))
         assert rows_equal(plain_rows, skew_rows)
+
+
+class TestExecutionModes:
+    def test_single_window_never_reports_parallel_windows(self, trades):
+        # Regression: the flag used to echo the *request*; it must
+        # reflect the path actually taken — one window never pools.
+        engine, compiled = build(ROLLING, {"trades": trades})
+        _, stats = engine.execute(compiled, parallel_windows=True)
+        assert not stats.used_parallel_windows
+
+    def test_serial_mode_never_reports_parallel_windows(self, trades):
+        engine, compiled = build(TestParallelWindows.MULTI,
+                                 {"trades": trades})
+        _, stats = engine.execute(compiled, parallel_windows=True,
+                                  mode="serial")
+        assert not stats.used_parallel_windows
+        assert stats.mode == stats.requested_mode == "serial"
+
+    def test_invalid_mode_rejected(self, trades):
+        engine, compiled = build(ROLLING, {"trades": trades})
+        with pytest.raises(Exception):
+            engine.execute(compiled, mode="gpu")
+        with pytest.raises(Exception):
+            OfflineEngine({"trades": trades}, mode="gpu")
+
+    def test_process_mode_matches_thread_mode(self, trades):
+        engine, compiled = build(ROLLING, {"trades": trades})
+        try:
+            thread_rows, _ = engine.execute(compiled, mode="thread")
+            process_rows, stats = engine.execute(compiled, mode="process")
+            assert rows_equal(process_rows, thread_rows)
+            assert stats.requested_mode == "process"
+            # Hermetic: equality holds whether the pool came up or the
+            # engine degraded to threads — but never silently.
+            assert stats.mode == ("thread" if stats.pool_fallback
+                                  else "process")
+            assert stats.used_process_pool == (not stats.pool_fallback)
+        finally:
+            engine.close()
+
+    def test_pool_unavailable_falls_back_to_threads(self, trades):
+        engine, compiled = build(ROLLING, {"trades": trades})
+        engine._pool_failed = True  # simulate a dead multiprocessing
+        rows, stats = engine.execute(compiled, mode="process")
+        baseline, _ = engine.execute(compiled, mode="thread")
+        assert rows_equal(rows, baseline)
+        assert stats.pool_fallback
+        assert stats.mode == "thread"
+        assert not stats.used_process_pool
+
+    def test_spill_stats_surface(self, trades):
+        from repro.offline import SpillConfig
+        engine, compiled = build(ROLLING, {"trades": trades})
+        plain, _ = engine.execute(compiled)
+        rows, stats = engine.execute(
+            compiled, spill=SpillConfig(memory_budget_bytes=128))
+        assert rows_equal(rows, plain)
+        assert stats.shuffle["rows"] == 5
+        assert stats.shuffle["runs"] >= 1
+        assert stats.shuffle["spilled_rows"] > 0
+
+    def test_carry_tasks_counted_for_eligible_frames(self):
+        from repro.offline import SkewConfig
+        schema = Schema.from_pairs([
+            ("k", "string"), ("ts", "timestamp"), ("v", "int")])
+        table = MemTable("t", schema, [IndexDef(("k",), "ts")])
+        for index in range(200):
+            table.insert(("hot", index * 10, index % 9))
+        sql = ("SELECT k, sum(v) OVER w AS s FROM t WINDOW w AS "
+               "(PARTITION BY k ORDER BY ts ROWS_RANGE BETWEEN "
+               "UNBOUNDED PRECEDING AND CURRENT ROW)")
+        engine, compiled = build(sql, {"t": table})
+        plain, _ = engine.execute(compiled)
+        skew = SkewConfig(quantile=4, min_partition_rows=20,
+                          merge_partials=True)
+        rows, stats = engine.execute(compiled, skew=skew)
+        assert rows_equal(rows, plain)
+        assert stats.carry_tasks == 4
+        # Bounded frames are not carry-eligible: expansion instead.
+        bounded_sql = sql.replace("UNBOUNDED", "50")
+        engine2, compiled2 = build(bounded_sql, {"t": table})
+        _, bounded_stats = engine2.execute(compiled2, skew=skew)
+        assert bounded_stats.carry_tasks == 0
 
 
 class TestStats:

@@ -1,0 +1,204 @@
+"""Partial-aggregate state machines (repro.offline.partial).
+
+The offline engine's map-reduce split rests on one invariant: folding a
+stream in segments and merging the partials gives the same answer as one
+serial fold.  These tests pin that invariant per machine, the
+``exact_merge`` declarations that gate the carry path, and the
+histogram state shipping that merges worker timings exactly.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.obs.metrics import Histogram
+from repro.offline.partial import (EwAvgPartial, FunctionPartial,
+                                   LagPartial, WindowPartialState,
+                                   has_partial, make_partial)
+from repro.sql.functions import get_aggregate
+
+random.seed(20250809)
+
+VALUES = [random.choice([None] + list(range(-40, 40))) for _ in range(120)]
+
+
+def serial_result(partial, values):
+    state = partial.init()
+    for value in values:
+        partial.accumulate(state, value)
+    return partial.finalize(state)
+
+
+def merged_result(partial, values, cut):
+    older, newer = partial.init(), partial.init()
+    for value in values[:cut]:
+        partial.accumulate(older, value)
+    for value in values[cut:]:
+        partial.accumulate(newer, value)
+    return partial.finalize(partial.merge(older, newer))
+
+
+MERGE_EXACT_AGGS = ["sum", "count", "avg", "min", "max",
+                    "distinct_count", "variance", "stddev"]
+
+
+class TestFunctionPartials:
+    @pytest.mark.parametrize("name", MERGE_EXACT_AGGS)
+    @pytest.mark.parametrize("cut", [0, 1, 37, 119, 120])
+    def test_merge_equals_serial_fold(self, name, cut):
+        partial = make_partial(name)
+        assert serial_result(partial, VALUES) \
+            == merged_result(partial, VALUES, cut)
+
+    @pytest.mark.parametrize("name", MERGE_EXACT_AGGS)
+    def test_exact_merge_declared(self, name):
+        assert make_partial(name).exact_merge
+
+    def test_topn_merge(self):
+        partial = make_partial("topn_frequency", 3)
+        values = [v % 5 if v is not None else None for v in VALUES]
+        assert serial_result(partial, values) \
+            == merged_result(partial, values, 50)
+
+    def test_non_mergeable_function_rejected(self):
+        with pytest.raises(ExecutionError):
+            FunctionPartial(get_aggregate("ew_avg", 0.5))
+
+    def test_drawdown_merge_not_exact(self):
+        # drawdown's merge is algebraically fine for pre-aggregation
+        # (positive series) but NOT an exact fold continuation: a
+        # segment's standalone drawdown uses its internal peak, which a
+        # larger carried-in peak supersedes.  [20] ++ [5, -10]:
+        # continued gives (20-(-10))/20 = 1.5, standalone (5-(-10))/5
+        # = 3.0 — so the partial must stay off the carry path.
+        partial = make_partial("drawdown")
+        assert not partial.exact_merge
+        values = [20, 5, -10]
+        assert serial_result(partial, values) == pytest.approx(1.5)
+        assert merged_result(partial, values, 1) == pytest.approx(3.0)
+
+
+class TestWrapperPartials:
+    def test_ew_avg_matches_function(self):
+        function = get_aggregate("ew_avg", 0.3)
+        partial = EwAvgPartial(function)
+        state = function.create()
+        for value in VALUES:
+            if value is not None:
+                function.add(state, value)
+        expected = function.result(state)
+        assert serial_result(partial, VALUES) == expected
+
+    def test_ew_avg_merge_mathematically_close_not_exact(self):
+        partial = make_partial("ew_avg", 0.3)
+        assert isinstance(partial, EwAvgPartial)
+        assert not partial.exact_merge
+        serial = serial_result(partial, VALUES)
+        merged = merged_result(partial, VALUES, 41)
+        assert merged == pytest.approx(serial)
+
+    @pytest.mark.parametrize("offset", [0, 1, 3])
+    @pytest.mark.parametrize("cut", [0, 2, 60, 120])
+    def test_lag_merge_exact(self, offset, cut):
+        partial = make_partial("lag", offset)
+        assert isinstance(partial, LagPartial)
+        assert partial.exact_merge
+        assert serial_result(partial, VALUES) \
+            == merged_result(partial, VALUES, cut)
+
+    def test_lag_short_stream_is_null(self):
+        partial = make_partial("lag", 5)
+        assert serial_result(partial, [1, 2]) is None
+
+    def test_lag_state_stays_bounded(self):
+        partial = make_partial("lag", 2)
+        state = partial.init()
+        for value in range(1000):
+            partial.accumulate(state, value)
+        assert len(state) <= 6  # cap * 2
+        assert partial.finalize(state) == 997
+
+
+class TestRegistry:
+    def test_every_known_aggregate_has_a_partial(self):
+        for name in ("sum", "count", "avg", "min", "max", "ew_avg",
+                     "lag", "drawdown", "distinct_count"):
+            assert has_partial(name)
+
+    def test_unknown_name(self):
+        assert not has_partial("no_such_aggregate")
+
+
+class TestWindowPartialState:
+    def _vector(self):
+        functions = [("sum", ()), ("lag", (1,)), ("distinct_count", ())]
+        extractors = [lambda row: (row[1],)] * 3
+        return WindowPartialState(functions, extractors)
+
+    def test_exact_iff_all_members_exact(self):
+        assert self._vector().exact
+        with_dd = WindowPartialState(
+            [("sum", ()), ("drawdown", ())],
+            [lambda row: (row[1],)] * 2)
+        assert not with_dd.exact
+
+    def test_segmented_equals_serial(self):
+        vector = self._vector()
+        rows = [("k", random.randint(-5, 5)) for _ in range(60)]
+        serial = vector.init()
+        for row in rows:
+            vector.accumulate_row(serial, row)
+        older, newer = vector.init(), vector.init()
+        for row in rows[:25]:
+            vector.accumulate_row(older, row)
+        for row in rows[25:]:
+            vector.accumulate_row(newer, row)
+        assert vector.finalize(vector.merge(older, newer)) \
+            == vector.finalize(serial)
+
+    def test_copy_states_does_not_alias(self):
+        vector = self._vector()
+        states = vector.init()
+        vector.accumulate_row(states, ("k", 3))
+        copy = WindowPartialState.copy_states(states)
+        vector.accumulate_row(copy, ("k", 4))
+        assert vector.finalize(states) != vector.finalize(copy)
+
+    def test_states_are_picklable(self):
+        vector = self._vector()
+        states = vector.init()
+        vector.accumulate_row(states, ("k", 3))
+        assert vector.finalize(pickle.loads(pickle.dumps(states))) \
+            == vector.finalize(states)
+
+
+class TestHistogramStateShipping:
+    def test_merge_state_equals_observing_in_one_process(self):
+        samples_a = [0.01, 0.5, 3.0, 200.0]
+        samples_b = [0.002, 40.0]
+        worker = Histogram("offline.task.ms")
+        for sample in samples_a:
+            worker.observe(sample)
+        state = worker.state()
+        assert pickle.loads(pickle.dumps(state)) == state  # wire-safe
+        parent = Histogram("offline.task.ms")
+        for sample in samples_b:
+            parent.observe(sample)
+        parent.merge_state(state)
+        oracle = Histogram("offline.task.ms")
+        for sample in samples_a + samples_b:
+            oracle.observe(sample)
+        assert parent.counts == oracle.counts
+        assert parent.count == oracle.count
+        assert parent.total == pytest.approx(oracle.total)
+        assert (parent.min, parent.max) == (oracle.min, oracle.max)
+
+    def test_merge_state_into_empty(self):
+        worker = Histogram("offline.task.ms")
+        worker.observe(1.5)
+        parent = Histogram("offline.task.ms")
+        parent.merge_state(worker.state())
+        assert parent.count == 1
+        assert parent.min == parent.max == 1.5

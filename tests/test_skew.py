@@ -50,6 +50,29 @@ class TestBoundaries:
         assert SkewResolver._part_for(11, [10, 20]) == 1
         assert SkewResolver._part_for(25, [10, 20]) == 2
 
+    def test_hll_estimate_drives_sampling_stride(self):
+        """The cardinality estimate is *used*: duplicate-heavy ts
+        columns (few distinct values) sample at a stride > 1 because
+        extra points past ~4×cardinality add no percentile resolution,
+        while all-distinct columns of the same length keep stride 1."""
+        resolver = SkewResolver(SkewConfig(quantile=4))
+        duplicate_heavy = [ts % 8 for ts in range(20_000)]
+        boundaries = resolver.partition_boundaries(duplicate_heavy)
+        assert resolver.last_sample_stride > 1
+        assert resolver.last_sample_size < len(duplicate_heavy)
+        assert len(boundaries) == 3
+        all_distinct = list(range(1000))
+        resolver.partition_boundaries(all_distinct)
+        assert resolver.last_sample_stride == 1
+        assert resolver.last_sample_size == 1000
+
+    def test_strided_boundaries_still_split_duplicates_evenly(self):
+        resolver = SkewResolver(SkewConfig(quantile=2))
+        ts_values = [ts % 100 for ts in range(50_000)]
+        (boundary,) = resolver.partition_boundaries(ts_values)
+        assert resolver.last_sample_stride > 1
+        assert 30 <= boundary <= 70  # median of uniform 0..99
+
 
 class TestTaskBuilding:
     def test_small_keys_not_split(self):
@@ -122,6 +145,32 @@ class TestTaskBuilding:
         rows = make_rows({"b": 5, "a": 5, "c": 5})
         tasks = resolver.build_tasks(rows, KEY, TS, range_ms=10)
         assert [task.key for task in tasks] == ["a", "b", "c"]
+
+    def test_augment_false_skips_expansion(self):
+        """The engine's carry path replaces expanded-row context with
+        merged partials — the resolver must emit bare partitions."""
+        resolver = SkewResolver(SkewConfig(quantile=4,
+                                           min_partition_rows=10))
+        rows = make_rows({"hot": 200})
+        tasks = resolver.build_tasks(rows, KEY, TS, augment=False)
+        assert len(tasks) == 4
+        assert all(not tagged.expanded
+                   for task in tasks for tagged in task.rows)
+        assert sum(task.own_rows for task in tasks) == 200
+
+    def test_key_tasks_matches_build_tasks_for_one_key(self):
+        """key_tasks is the streaming entry point (spill-sorted groups
+        arrive pre-grouped); it must decompose identically."""
+        resolver = SkewResolver(SkewConfig(quantile=3,
+                                           min_partition_rows=10))
+        rows = make_rows({"hot": 120})
+        via_build = resolver.build_tasks(rows, KEY, TS, range_ms=50)
+        keyed = sorted((TS(row), row) for row in rows)
+        via_key = resolver.key_tasks("hot", keyed, range_ms=50)
+        assert [(t.part_id, [(g.ts, g.expanded) for g in t.rows])
+                for t in via_build] \
+            == [(t.part_id, [(g.ts, g.expanded) for g in t.rows])
+                for t in via_key]
 
 
 @settings(max_examples=40, deadline=None)

@@ -28,6 +28,16 @@ reliably:
   an explicit drain, work queued to them (e.g. binlog closures) is
   abandoned.  Tests and benchmarks may spawn throwaway threads, so the
   rule is scoped to library code.
+* **AGG001** — an aggregate registered in
+  ``src/repro/sql/functions.py`` (listed in ``_AGGREGATE_CLASSES``)
+  that neither defines/inherits a real ``merge`` method nor has a
+  wrapper partial registered under its ``name`` in
+  ``_PARTIAL_WRAPPERS`` (``src/repro/offline/partial.py``).  Every
+  aggregate needs *some* merge route or the offline engine's
+  map-reduce split silently loses it to expanded-row replay forever;
+  the rule makes adding an aggregate without deciding its merge story
+  a lint failure.  Like DOC001 it is repo-level and runs in both
+  ``make lint`` branches.
 * **DOC001** — a dotted ``repro.*`` reference in the prose docs
   (``README.md``, ``docs/*.md``) that no longer resolves to a module
   or attribute.  ``make verify-docs`` executes the fenced code, but
@@ -39,8 +49,9 @@ reliably:
 Usage: ``python tools/lint.py PATH [PATH ...]`` — paths are files or
 directories (searched recursively for ``*.py``); markdown files and
 the DOC001 sweep are included automatically when a given directory
-contains them.  ``python tools/lint.py --docs`` runs only the DOC001
-sweep over the repo's prose docs.  Exits non-zero when findings exist,
+contains them.  ``python tools/lint.py --docs`` runs only the
+repo-level sweeps (DOC001 over the prose docs, AGG001 over the
+aggregate registry).  Exits non-zero when findings exist,
 printing ``path:line:col CODE message`` per finding.
 """
 
@@ -352,6 +363,116 @@ def check_doc_references(
                            f"resolve: {error}")
 
 
+_FUNCTIONS_PY = pathlib.Path("src/repro/sql/functions.py")
+_PARTIAL_PY = pathlib.Path("src/repro/offline/partial.py")
+
+
+def _registered_aggregate_classes(tree: ast.Module) -> Set[str]:
+    """Class names inside the ``_AGGREGATE_CLASSES`` registry literal."""
+    registered: Set[str] = set()
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Assign)
+                and any(isinstance(t, ast.Name)
+                        and t.id == "_AGGREGATE_CLASSES"
+                        for t in node.targets)):
+            continue
+        # ``{cls.name: cls for cls in (A, B, ...)}`` — read the tuple.
+        for name_node in ast.walk(node.value):
+            if isinstance(name_node, ast.Name) \
+                    and name_node.id.endswith("Agg"):
+                registered.add(name_node.id)
+    return registered
+
+
+def _wrapper_partial_names(root: pathlib.Path) -> Set[str]:
+    """String keys of ``_PARTIAL_WRAPPERS`` in the partials module."""
+    path = root / _PARTIAL_PY
+    if not path.exists():
+        return set()
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign):  # `X: Dict[...] = {...}`
+            targets = [node.target]
+        else:
+            continue
+        if any(isinstance(t, ast.Name) and t.id == "_PARTIAL_WRAPPERS"
+               for t in targets) \
+                and isinstance(node.value, ast.Dict):
+            return {key.value for key in node.value.keys
+                    if isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)}
+    return set()
+
+
+def check_aggregate_merge_coverage(
+        root: pathlib.Path = REPO_ROOT) -> Iterator[Finding]:
+    """AGG001 — every registered aggregate has a merge route.
+
+    Either the class (or an in-file ancestor other than the abstract
+    ``AggregateFunction`` base, whose ``merge`` raises) defines
+    ``merge``, or a wrapper partial is registered under the aggregate's
+    ``name`` in ``_PARTIAL_WRAPPERS``.
+    """
+    path = root / _FUNCTIONS_PY
+    if not path.exists():
+        return
+    tree = ast.parse(path.read_text(encoding="utf-8"),
+                     filename=str(path))
+    classes = {node.name: node for node in ast.walk(tree)
+               if isinstance(node, ast.ClassDef)}
+
+    def own_merge(klass: ast.ClassDef) -> bool:
+        return any(isinstance(stmt, ast.FunctionDef)
+                   and stmt.name == "merge" for stmt in klass.body)
+
+    def class_attr(klass: ast.ClassDef, attr: str) -> Optional[str]:
+        for stmt in klass.body:
+            if isinstance(stmt, ast.Assign) \
+                    and any(isinstance(t, ast.Name) and t.id == attr
+                            for t in stmt.targets) \
+                    and isinstance(stmt.value, ast.Constant):
+                value = stmt.value.value
+                return value if isinstance(value, str) else None
+        return None
+
+    def resolve(klass: ast.ClassDef, getter) -> Optional[str]:
+        """Walk in-file bases (excluding the abstract root) for a hit."""
+        queue, seen = [klass], set()
+        while queue:
+            node = queue.pop(0)
+            if node.name in seen:
+                continue
+            seen.add(node.name)
+            hit = getter(node)
+            if hit:
+                return hit
+            for base in node.bases:
+                if isinstance(base, ast.Name) \
+                        and base.id in classes \
+                        and base.id != "AggregateFunction":
+                    queue.append(classes[base.id])
+        return None
+
+    wrappers = _wrapper_partial_names(root)
+    for class_name in sorted(_registered_aggregate_classes(tree)):
+        klass = classes.get(class_name)
+        if klass is None:
+            continue
+        if resolve(klass, lambda k: "x" if own_merge(k) else None):
+            continue
+        agg_name = resolve(klass, lambda k: class_attr(k, "name"))
+        if agg_name in wrappers:
+            continue
+        yield (str(path.relative_to(root)), klass.lineno,
+               klass.col_offset + 1, "AGG001",
+               f"aggregate {agg_name or class_name!r} is registered "
+               "without a merge route: define merge() or add a wrapper "
+               "partial to _PARTIAL_WRAPPERS "
+               "(src/repro/offline/partial.py)")
+
+
 def lint(paths: List[str]) -> List[Finding]:
     findings: List[Finding] = []
     for path in iter_python_files(paths):
@@ -378,6 +499,7 @@ def main(argv: List[str]) -> int:
     paths = [arg for arg in argv if arg != "--docs"]
     findings: List[Finding] = [] if docs_only else sorted(lint(paths))
     findings.extend(sorted(check_doc_references()))
+    findings.extend(sorted(check_aggregate_merge_coverage()))
     for path, line, col, code, message in findings:
         print(f"{path}:{line}:{col} {code} {message}")
     if findings:
