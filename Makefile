@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test lint verify verify-docs bench bench-smoke recover-smoke \
-	offline-smoke examples profile
+	offline-smoke elastic-smoke examples profile
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -20,7 +20,7 @@ lint:
 		$(PYTHON) tools/lint.py src tests benchmarks; \
 	fi
 
-verify: lint test recover-smoke offline-smoke bench-smoke
+verify: lint test recover-smoke offline-smoke elastic-smoke bench-smoke
 
 # Extract and execute every fenced python block in README.md and
 # docs/*.md — documentation code must actually run.
@@ -46,6 +46,12 @@ offline-smoke:
 # write.  Cheap enough to gate every verify run.
 recover-smoke:
 	$(PYTHON) -m pytest tests/test_crash_recovery.py -q -k smoke
+
+# Elastic data plane round trip: split -> migrate -> rebalance under
+# sustained closed-loop traffic, plus tenant shedding — zero
+# acknowledged-write loss and byte-identical answers vs a twin.
+elastic-smoke:
+	$(PYTHON) -m pytest tests/test_elastic.py -q -k smoke
 
 examples:
 	for script in examples/*.py; do $(PYTHON) $$script || exit 1; done

@@ -30,15 +30,19 @@ high-availability layer).  Responsibilities:
 from __future__ import annotations
 
 import dataclasses
+import json
 import os
+import shutil
 import threading
 import time
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (Any, Dict, Iterator, List, Optional, Sequence, Set,
+                    Tuple)
 
+from ..ctlplane.split import HashRouter, stable_hash
 from ..errors import (DeadlineExceededError, IndexNotFoundError,
                       MemoryLimitExceededError, OpenMLDBError,
-                      RpcTimeoutError, SchemaError, StaleReadError,
-                      StorageError)
+                      RpcTimeoutError, SchemaError, ShardMovedError,
+                      StaleReadError, StorageError)
 from ..obs import NULL_OBS, Observability
 from ..online.binlog import BinlogEntry, Replicator
 from ..online.engine import OnlineEngine
@@ -53,6 +57,11 @@ from .failover import HeartbeatMonitor, RetryPolicy, catch_up, elect_leader
 from .tablet import TabletServer
 
 __all__ = ["ClusterTable", "NameServer"]
+
+# Bounded re-resolution retries after a ShardMovedError redirect.  Each
+# retry re-reads the routing directory, which only ever moves forward;
+# the bound exists so a programming error cannot spin forever.
+_REROUTE_ATTEMPTS = 8
 
 
 @dataclasses.dataclass
@@ -69,6 +78,13 @@ class ClusterTable:
     # partition id → that partition's binlog (the replication source of
     # truth: an acknowledged write is always in here)
     binlogs: Dict[int, Replicator]
+    # key hash → live partition id; splits/merges rewrite this while
+    # the table keeps serving (``partitions`` stays the base count)
+    router: HashRouter = dataclasses.field(
+        default_factory=lambda: HashRouter(1))
+    # partition ids retired by a split/merge; routing to one raises
+    # ShardMovedError so callers re-resolve instead of failing
+    retired: Set[int] = dataclasses.field(default_factory=set)
 
     @property
     def next_offset(self) -> Dict[int, int]:
@@ -124,13 +140,35 @@ class _ClusterTableView:
             routing = key_value[0] if isinstance(key_value, tuple) \
                 else key_value
             return [self._ns.partition_for(self.name, routing)]
-        return list(range(self._table.partitions))
+        return self._table.router.partition_ids()
+
+    def _rerouting(self, fn: Any) -> Any:
+        """Run ``fn`` with bounded re-resolution on topology redirects.
+
+        A split/merge/migration that lands mid-read raises
+        :class:`ShardMovedError`; re-running ``fn`` re-resolves every
+        partition against the fresh routing directory.
+        """
+        for _ in range(_REROUTE_ATTEMPTS - 1):
+            try:
+                return fn()
+            except ShardMovedError:
+                continue
+        return fn()
 
     def window_scan(self, keys: Sequence[str], ts_column: str,
                     key_value: Any, start_ts: Optional[int] = None,
                     end_ts: Optional[int] = None,
                     limit: Optional[int] = None
                     ) -> Iterator[Tuple[int, Row]]:
+        return self._rerouting(
+            lambda: self._window_scan_once(keys, ts_column, key_value,
+                                           start_ts, end_ts, limit))
+
+    def _window_scan_once(self, keys: Sequence[str], ts_column: str,
+                          key_value: Any, start_ts: Optional[int],
+                          end_ts: Optional[int], limit: Optional[int]
+                          ) -> Iterator[Tuple[int, Row]]:
         ns = self._ns
         ctx = ns._obs.tracer.inject()
         merged: List[Tuple[int, Row]] = []
@@ -168,6 +206,13 @@ class _ClusterTableView:
     def last_join_lookup(self, keys: Sequence[str], key_value: Any,
                          before_ts: Optional[int] = None
                          ) -> Optional[Tuple[int, Row]]:
+        return self._rerouting(
+            lambda: self._last_join_lookup_once(keys, key_value,
+                                                before_ts))
+
+    def _last_join_lookup_once(self, keys: Sequence[str], key_value: Any,
+                               before_ts: Optional[int]
+                               ) -> Optional[Tuple[int, Row]]:
         ns = self._ns
         ctx = ns._obs.tracer.inject()
         best: Optional[Tuple[int, Row]] = None
@@ -186,9 +231,15 @@ class _ClusterTableView:
 
     def rows(self) -> Iterator[Row]:
         """Full scan across leader shards (offline-mode access path)."""
-        for partition_id in range(self._table.partitions):
-            leader = self._ns.route_to_leader(self.name, partition_id)
-            yield from leader.shard(self.name, partition_id).store.rows()
+        def scan() -> List[Row]:
+            rows: List[Row] = []
+            for partition_id in self._table.router.partition_ids():
+                leader = self._ns.route_to_leader(self.name,
+                                                  partition_id)
+                rows.extend(leader.shard(self.name,
+                                         partition_id).store.rows())
+            return rows
+        return iter(self._rerouting(scan))
 
 
 class NameServer:
@@ -284,6 +335,8 @@ class NameServer:
         self._part_locks: Dict[Tuple[str, int], threading.Lock] = {}
         self._failover_lock = threading.Lock()
         self._views: Dict[str, _ClusterTableView] = {}
+        self._tenants: Optional[Any] = None  # TenantRegistry
+        self._codecs: Dict[str, RowCodec] = {}
         self._deployments: Dict[str, CompiledQuery] = {}
         self._compile_cache = CompilationCache(obs=self._obs)
         self._engine = OnlineEngine(self._views, obs=self._obs)
@@ -304,54 +357,79 @@ class NameServer:
                      replicas: int = 2) -> ClusterTable:
         if name in self.tables:
             raise StorageError(f"cluster table {name!r} already exists")
-        if replicas > len(self.tablets):
+        if partitions < 1:
             raise StorageError(
-                f"replicas={replicas} exceeds tablet count "
-                f"{len(self.tablets)}")
-        tablet_names = list(self.tablets)
-        assignment: Dict[int, List[str]] = {}
-        for partition_id in range(partitions):
-            chosen = [tablet_names[(partition_id + replica)
-                                   % len(tablet_names)]
-                      for replica in range(replicas)]
-            assignment[partition_id] = chosen
-            for position, tablet_name in enumerate(chosen):
+                f"partitions must be >= 1, got {partitions}")
+        if replicas < 1 or replicas > len(self.tablets):
+            raise StorageError(
+                f"replicas={replicas} must be between 1 and tablet "
+                f"count {len(self.tablets)}")
+        layout = self._load_layout(name)
+        if layout is not None:
+            router = HashRouter.from_state(layout["router"])
+            assignment = {int(pid): list(names) for pid, names
+                          in layout["assignment"].items()}
+            leaders = {int(pid): leader for pid, leader
+                       in layout["leaders"].items()}
+            retired = set(layout.get("retired", ()))
+        else:
+            router = HashRouter(partitions)
+            tablet_names = list(self.tablets)
+            assignment = {}
+            leaders = {}
+            for partition_id in range(partitions):
+                chosen = [tablet_names[(partition_id + replica)
+                                       % len(tablet_names)]
+                          for replica in range(replicas)]
+                assignment[partition_id] = chosen
+                leaders[partition_id] = chosen[0]
+            retired = set()
+        for partition_id, chosen in assignment.items():
+            for tablet_name in chosen:
+                if tablet_name not in self.tablets:
+                    raise StorageError(
+                        f"layout for {name!r} names unknown tablet "
+                        f"{tablet_name!r}")
                 self.tablets[tablet_name].host_shard(
                     name, partition_id, schema, indexes,
-                    is_leader=(position == 0))
+                    is_leader=(tablet_name == leaders[partition_id]))
             self._part_locks[(name, partition_id)] = threading.Lock()
         table = ClusterTable(
             name=name, schema=schema, indexes=tuple(indexes),
             partitions=partitions, replicas=replicas,
             assignment=assignment,
-            binlogs=self._build_binlogs(name, schema, partitions))
+            binlogs={partition_id: self._build_binlog(name, schema,
+                                                      partition_id)
+                     for partition_id in sorted(assignment)},
+            router=router, retired=retired)
         self.tables[name] = table
         self._views[name] = _ClusterTableView(self, table)
         self._restore_partitions(table)
         return table
 
-    def _build_binlogs(self, name: str, schema: Schema,
-                       partitions: int) -> Dict[int, Replicator]:
-        """One replicator per partition; file-backed when durable.
+    def _build_binlog(self, name: str, schema: Schema,
+                      partition_id: int,
+                      fresh: bool = False) -> Replicator:
+        """One partition's replicator; file-backed when durable.
 
-        With ``data_dir`` set, each partition binlog appends through a
+        With ``data_dir`` set, the partition binlog appends through a
         :class:`FileBinlog`; a pre-existing WAL (the cluster was rebuilt
         over an old directory) is restored into the in-memory entry
         list, so the acknowledged prefix survives the nameserver too.
+        ``fresh=True`` (a partition newly minted by a split) discards
+        any stale WAL left by an earlier aborted topology change first.
         """
-        binlogs: Dict[int, Replicator] = {}
-        for partition_id in range(partitions):
-            replicator = Replicator()
-            if self.data_dir is not None:
-                wal = FileBinlog(
-                    os.path.join(self.data_dir, "binlog", name,
-                                 f"p{partition_id}"),
-                    obs=self._obs)
-                replicator.attach_wal(wal)
-                replicator.register_codec(name, RowCodec(schema))
-                replicator.restore()
-            binlogs[partition_id] = replicator
-        return binlogs
+        replicator = Replicator()
+        if self.data_dir is not None:
+            directory = os.path.join(self.data_dir, "binlog", name,
+                                     f"p{partition_id}")
+            if fresh and os.path.isdir(directory):
+                shutil.rmtree(directory)
+            wal = FileBinlog(directory, obs=self._obs)
+            replicator.attach_wal(wal)
+            replicator.register_codec(name, RowCodec(schema))
+            replicator.restore()
+        return replicator
 
     def _restore_partitions(self, table: ClusterTable) -> int:
         """Replay restored binlogs into the freshly hosted shards."""
@@ -369,17 +447,35 @@ class NameServer:
     # routing
 
     def partition_for(self, table_name: str, key_value: Any) -> int:
+        """Key → live partition id, via the table's routing directory.
+
+        Hashing is :func:`~repro.ctlplane.split.stable_hash` — process-
+        and PYTHONHASHSEED-independent — so a durable cluster restarted
+        over its ``data_dir`` routes every key exactly as the process
+        that wrote it did.  The router maps the hash through the
+        linear-hashing directory, which online splits/merges rewrite.
+        """
         table = self._table(table_name)
-        return hash(key_value) % table.partitions
+        return table.router.route(stable_hash(key_value))
 
     def leader_of(self, table_name: str,
                   partition_id: int) -> TabletServer:
         """The current live leader, with *no* failover side effects."""
         table = self._table(table_name)
-        for tablet_name in table.assignment[partition_id]:
+        placement = table.assignment.get(partition_id)
+        if placement is None:
+            if partition_id in table.retired:
+                raise ShardMovedError(
+                    f"{table_name}[{partition_id}] was retired by a "
+                    f"split/merge; re-resolve the key")
+            raise StorageError(
+                f"{table_name} has no partition {partition_id}")
+        for tablet_name in placement:
             tablet = self.tablets[tablet_name]
-            if tablet.alive and tablet.shard(table_name,
-                                             partition_id).is_leader:
+            if tablet.alive \
+                    and tablet.has_shard(table_name, partition_id) \
+                    and tablet.shard(table_name,
+                                     partition_id).is_leader:
                 return tablet
         raise StorageError(
             f"no live leader for {table_name}[{partition_id}]")
@@ -391,9 +487,13 @@ class NameServer:
         If the recorded leader is dead and ``auto_failover`` is on, the
         dead tablet's shards fail over first (the detection a ZooKeeper
         watch would have delivered), then routing is retried once.
+        A :class:`ShardMovedError` (the partition was split away)
+        propagates untouched — it is a redirect, not a failure.
         """
         try:
             return self.leader_of(table_name, partition_id)
+        except ShardMovedError:
+            raise
         except StorageError:
             if not self.auto_failover:
                 raise
@@ -405,7 +505,9 @@ class NameServer:
                                 partition_id: int) -> int:
         """Fail over every dead tablet in one partition's replica group."""
         transfers = 0
-        for tablet_name in self._table(table_name).assignment[partition_id]:
+        placement = self._table(table_name).assignment.get(partition_id,
+                                                           ())
+        for tablet_name in list(placement):
             if not self.tablets[tablet_name].alive:
                 transfers += self.handle_failure(tablet_name)
         return transfers
@@ -413,7 +515,7 @@ class NameServer:
     def live_replica(self, table_name: str,
                      partition_id: int) -> TabletServer:
         table = self._table(table_name)
-        for tablet_name in table.assignment[partition_id]:
+        for tablet_name in table.assignment.get(partition_id, ()):
             tablet = self.tablets[tablet_name]
             if tablet.alive:
                 return tablet
@@ -425,6 +527,149 @@ class NameServer:
             return self.tables[name]
         except KeyError:
             raise StorageError(f"unknown cluster table {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # control-plane hooks (repro.ctlplane)
+
+    @property
+    def obs(self) -> Observability:
+        """The shared observability handle (control plane attaches
+        its ``ctl.*`` series to the same registry)."""
+        return self._obs
+
+    def table_info(self, name: str) -> ClusterTable:
+        """Public placement metadata accessor for the control plane."""
+        return self._table(name)
+
+    def partition_lock(self, table_name: str,
+                       partition_id: int) -> threading.Lock:
+        """The per-partition write lock (created on demand).
+
+        Holding it pauses acknowledged writes to that partition — the
+        split freeze and the migration handoff both serialize against
+        the write path through it.
+        """
+        key = (table_name, partition_id)
+        lock = self._part_locks.get(key)
+        if lock is None:
+            with self._failover_lock:
+                lock = self._part_locks.setdefault(key, threading.Lock())
+        return lock
+
+    def register_partition(self, table_name: str, partition_id: int,
+                           placement: Sequence[str],
+                           leader: str) -> Replicator:
+        """Bring a new (split-minted) partition online.
+
+        Hosts the shard on every placement tablet, builds its binlog
+        (file-backed when durable, discarding any stale WAL a previous
+        aborted split left under the same id), and registers placement.
+        The partition serves as soon as the router maps keys to it —
+        which happens later, at the split's atomic commit.
+        """
+        table = self._table(table_name)
+        if partition_id in table.assignment:
+            raise StorageError(
+                f"{table_name} already has partition {partition_id}")
+        for tablet_name in placement:
+            self.tablets[tablet_name].host_shard(
+                table_name, partition_id, table.schema, table.indexes,
+                is_leader=(tablet_name == leader))
+        binlog = self._build_binlog(table_name, table.schema,
+                                    partition_id, fresh=True)
+        table.binlogs[partition_id] = binlog
+        table.assignment[partition_id] = list(placement)
+        table.retired.discard(partition_id)
+        self.partition_lock(table_name, partition_id)
+        return binlog
+
+    def retire_partition(self, table_name: str,
+                         partition_id: int) -> None:
+        """Take a partition out of service after a split/merge.
+
+        Drops the shard from its replicas, closes (and, when durable,
+        deletes) its binlog, and marks the id retired so stale routes
+        raise :class:`ShardMovedError` instead of failing.  Idempotent.
+        """
+        table = self._table(table_name)
+        placement = table.assignment.pop(partition_id, None)
+        table.retired.add(partition_id)
+        if placement is None:
+            return
+        binlog = table.binlogs.pop(partition_id, None)
+        if binlog is not None:
+            wal = binlog.wal
+            binlog.close()
+            if wal is not None and os.path.isdir(wal.directory):
+                shutil.rmtree(wal.directory)
+        for tablet_name in placement:
+            tablet = self.tablets[tablet_name]
+            if tablet.alive and tablet.has_shard(table_name,
+                                                 partition_id):
+                tablet.drop_shard(table_name, partition_id)
+
+    def _layout_path(self, table_name: str) -> str:
+        return os.path.join(self.data_dir, "layout",
+                            f"{table_name}.json")
+
+    def save_layout(self, table_name: str) -> None:
+        """Persist the table's routing directory and placement.
+
+        No-op without ``data_dir``.  Written atomically (tmp +
+        ``os.replace``) so a crash mid-save leaves the previous layout,
+        which is always a consistent topology: the split/merge commit
+        saves *after* the router swap, so an older layout simply means
+        the change replays from the parent's still-complete binlog.
+        """
+        if self.data_dir is None:
+            return
+        table = self._table(table_name)
+        leaders: Dict[str, str] = {}
+        for partition_id, names in list(table.assignment.items()):
+            leader = names[0]
+            for tablet_name in names:
+                tablet = self.tablets[tablet_name]
+                if tablet.alive \
+                        and tablet.has_shard(table_name, partition_id) \
+                        and tablet.shard(table_name,
+                                         partition_id).is_leader:
+                    leader = tablet_name
+                    break
+            leaders[str(partition_id)] = leader
+        state = {
+            "router": table.router.state(),
+            "assignment": {str(pid): list(names) for pid, names
+                           in table.assignment.items()},
+            "leaders": leaders,
+            "retired": sorted(table.retired),
+        }
+        path = self._layout_path(table_name)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(state, handle)
+        os.replace(tmp, path)
+
+    def _load_layout(self, table_name: str) -> Optional[Dict[str, Any]]:
+        if self.data_dir is None:
+            return None
+        path = self._layout_path(table_name)
+        if not os.path.exists(path):
+            return None
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def attach_tenants(self, registry: Any) -> None:
+        """Enforce a :class:`~repro.ctlplane.TenantRegistry`'s memory
+        budgets on the write path (``put(..., tenant=...)``)."""
+        self._tenants = registry
+
+    def _codec(self, table: ClusterTable) -> RowCodec:
+        codec = self._codecs.get(table.name)
+        if codec is None:
+            codec = self._codecs.setdefault(table.name,
+                                            RowCodec(table.schema))
+        return codec
 
     # ------------------------------------------------------------------
     # replication lag
@@ -450,8 +695,8 @@ class NameServer:
 
     def replication_barrier(self, timeout: float = 10.0) -> None:
         """Wait for asynchronous replication to drain (tests/benches)."""
-        for table in self.tables.values():
-            for binlog in table.binlogs.values():
+        for table in list(self.tables.values()):
+            for binlog in list(table.binlogs.values()):
                 if not binlog.wait_idle(timeout=timeout):
                     raise StorageError(
                         f"replication did not drain within {timeout}s")
@@ -460,7 +705,8 @@ class NameServer:
     # data path
 
     def put(self, table_name: str, row: Row,
-            key_column: Optional[str] = None) -> int:
+            key_column: Optional[str] = None,
+            tenant: str = "") -> int:
         """Write one row through the partition leader, replicating it.
 
         The partition key defaults to the first index's first key
@@ -468,35 +714,66 @@ class NameServer:
         offset returned — once the leader applied it and the entry is in
         the partition binlog; follower delivery is inline ("sync") or
         binlog-worker-driven ("async").  A dead or unreachable leader is
-        failed over and the write retried under the retry policy.
+        failed over and the write retried under the retry policy; a
+        partition split away mid-flight is transparently re-resolved
+        (the :class:`ShardMovedError` redirect).
+
+        ``tenant`` charges the row's encoded size against that tenant's
+        memory budget (see :meth:`attach_tenants`); an over-budget
+        tenant is shed with
+        :class:`~repro.errors.TenantBudgetError` before anything is
+        written, and a write that ultimately fails refunds its charge.
         """
         self._check_open()
         table = self._table(table_name)
         self._m_puts.inc()
         column = key_column or table.indexes[0].key_columns[0]
         key_value = row[table.schema.position(column)]
-        partition_id = self.partition_for(table_name, key_value)
+        charged = 0
+        if tenant and self._tenants is not None:
+            charged = self._codec(table).encoded_size(
+                table.schema.validate_row(row))
+            self._tenants.charge(tenant, charged, table=table_name)
         policy = self.retry_policy
         last_error: Optional[Exception] = None
-        for attempt in range(policy.attempts + 1):
-            if attempt:
-                self._m_retries.inc()
-                time.sleep(policy.backoff_ms(attempt) / 1_000.0)
-            try:
-                leader = self.route_to_leader(table_name, partition_id)
-            except StorageError as exc:
-                last_error = exc
-                continue
-            try:
-                return self._put_on_leader(table, partition_id, leader,
-                                           row)
-            except RpcTimeoutError as exc:
-                self._m_timeouts.inc()
-                last_error = exc
-                self._suspect(leader.name)
-            except StorageError as exc:
-                last_error = exc
-                self._suspect(leader.name)
+        partition_id = -1
+        try:
+            for attempt in range(policy.attempts + 1):
+                if attempt:
+                    self._m_retries.inc()
+                    time.sleep(policy.backoff_ms(attempt) / 1_000.0)
+                # Re-resolve each attempt: a split/merge may have
+                # rewritten the routing directory since the last one.
+                partition_id = self.partition_for(table_name, key_value)
+                try:
+                    leader = self.route_to_leader(table_name,
+                                                  partition_id)
+                except ShardMovedError as exc:
+                    last_error = exc
+                    continue
+                except StorageError as exc:
+                    last_error = exc
+                    continue
+                try:
+                    return self._put_on_leader(table, partition_id,
+                                               leader, row)
+                except ShardMovedError as exc:
+                    # Routed before the topology change committed: the
+                    # redirect is not the tablet's fault — just re-route.
+                    last_error = exc
+                except RpcTimeoutError as exc:
+                    self._m_timeouts.inc()
+                    last_error = exc
+                    self._suspect(leader.name)
+                except StorageError as exc:
+                    last_error = exc
+                    self._suspect(leader.name)
+        except BaseException:
+            if charged:
+                self._tenants.release(tenant, charged)
+            raise
+        if charged:
+            self._tenants.release(tenant, charged)
         raise last_error if last_error is not None else StorageError(
             f"put to {table_name}[{partition_id}] failed")
 
@@ -504,7 +781,13 @@ class NameServer:
                        leader: TabletServer, row: Row) -> int:
         binlog = table.binlogs[partition_id]
         timeout_ms = self.retry_policy.rpc_timeout_ms
-        with self._part_locks[(table.name, partition_id)]:
+        with self.partition_lock(table.name, partition_id):
+            if partition_id not in table.assignment:
+                # Split/merge retired this partition between routing
+                # and lock acquisition: redirect, don't write.
+                raise ShardMovedError(
+                    f"{table.name}[{partition_id}] was retired by a "
+                    f"split/merge; re-resolve the key")
             offset = binlog.last_offset + 1
             # Leader applies first: if it rejects (down, timeout, memory
             # limit) nothing reaches the binlog and nothing was
@@ -608,6 +891,10 @@ class NameServer:
                 ) from last_error
             try:
                 tablet = self.route_to_leader(table_name, partition_id)
+            except ShardMovedError:
+                # The partition was split/merged away: the caller must
+                # re-resolve its key — retrying the same id is futile.
+                raise
             except StorageError as exc:
                 last_error = exc
                 stale = self._stale_replica(table_name, partition_id,
@@ -631,8 +918,18 @@ class NameServer:
                         f"read on {table_name}[{partition_id}] exceeded "
                         f"its deadline budget mid-RPC") from exc
                 self._suspect(tablet.name)
+            except ShardMovedError:
+                raise
             except StorageError as exc:
                 last_error = exc
+                if tablet.alive and not tablet.has_shard(table_name,
+                                                         partition_id):
+                    # A live migration dropped this replica's shard
+                    # after we routed to it: a topology redirect, not a
+                    # tablet failure — re-route without a failover.
+                    raise ShardMovedError(
+                        f"{table_name}[{partition_id}] moved off "
+                        f"{tablet.name} mid-read; re-resolve") from exc
                 self._suspect(tablet.name)
         raise last_error if last_error is not None else StorageError(
             f"read on {table_name}[{partition_id}] failed")
@@ -684,13 +981,20 @@ class NameServer:
         table = self._table(table_name)
         self._m_gets.inc()
         key_columns = tuple(keys) if keys else table.indexes[0].key_columns
-        partition_id = self.partition_for(table_name, key_value)
-        return self.routed_read(
-            table_name, partition_id,
-            lambda tablet, timeout_ms: tablet.read_latest(
-                table_name, partition_id, key_columns, key_value,
-                timeout_ms=timeout_ms),
-            max_staleness=max_staleness)
+        last_moved: Optional[ShardMovedError] = None
+        for _ in range(_REROUTE_ATTEMPTS):
+            partition_id = self.partition_for(table_name, key_value)
+            try:
+                return self.routed_read(
+                    table_name, partition_id,
+                    lambda tablet, timeout_ms, pid=partition_id:
+                        tablet.read_latest(
+                            table_name, pid, key_columns, key_value,
+                            timeout_ms=timeout_ms),
+                    max_staleness=max_staleness)
+            except ShardMovedError as exc:
+                last_moved = exc  # topology changed: re-resolve the key
+        raise last_moved
 
     # ------------------------------------------------------------------
     # liveness / failover
@@ -729,8 +1033,9 @@ class NameServer:
             failed.fail()
             transfers = 0
             replayed_total = 0
-            for table in self.tables.values():
-                for partition_id, tablet_names in table.assignment.items():
+            for table in list(self.tables.values()):
+                for partition_id, tablet_names in list(
+                        table.assignment.items()):
                     if tablet_name not in tablet_names:
                         continue
                     shard = failed.shard(table.name, partition_id)
@@ -779,8 +1084,9 @@ class NameServer:
         tablet.recover()
         self.heartbeats.forget(tablet_name)
         replayed = 0
-        for table in self.tables.values():
-            for partition_id, tablet_names in table.assignment.items():
+        for table in list(self.tables.values()):
+            for partition_id, tablet_names in list(
+                    table.assignment.items()):
                 if tablet_name not in tablet_names:
                     continue
                 replayed += catch_up(tablet, table.name, partition_id,
@@ -806,8 +1112,9 @@ class NameServer:
             else list(self.tables.values())
         rows = 0
         for table in tables:
-            for partition_id, tablet_names in table.assignment.items():
-                with self._part_locks[(table.name, partition_id)]:
+            for partition_id, tablet_names in list(
+                    table.assignment.items()):
+                with self.partition_lock(table.name, partition_id):
                     for name in tablet_names:
                         tablet = self.tablets[name]
                         if (tablet.alive and tablet.snapshots is not None
@@ -847,8 +1154,9 @@ class NameServer:
                                        tablet=tablet_name):
                 report.snapshot_rows = tablet.restart()
                 self.heartbeats.forget(tablet_name)
-                for table in self.tables.values():
-                    for partition_id, names in table.assignment.items():
+                for table in list(self.tables.values()):
+                    for partition_id, names in list(
+                            table.assignment.items()):
                         if tablet_name not in names:
                             continue
                         binlog = table.binlogs[partition_id]
@@ -1072,6 +1380,6 @@ class NameServer:
         if self._closed:
             return
         self._closed = True
-        for table in self.tables.values():
-            for binlog in table.binlogs.values():
+        for table in list(self.tables.values()):
+            for binlog in list(table.binlogs.values()):
                 binlog.close()

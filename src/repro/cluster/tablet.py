@@ -168,6 +168,39 @@ class TabletServer:
         self.governor.release(shard.store.memory_bytes)
         return shard
 
+    def install_shard_image(self, table: str, partition_id: int,
+                            payloads: Sequence[bytes],
+                            applied_offset: int) -> int:
+        """Bulk-load a snapshot image into a freshly hosted shard.
+
+        The migration transfer's bulk phase: decode each snapshot
+        payload through the shard codec, charge the memory governor,
+        and resume the shard at the image's pinned ``applied_offset``
+        so the binlog tail chase starts exactly where the image ends.
+        Returns rows installed.
+
+        Raises:
+            StorageError: the tablet is down, the shard is not hosted,
+                or the shard already applied entries (an image may only
+                land on a fresh shard — anything else would double-apply
+                rows the chase will replay).
+        """
+        if not self.alive:
+            raise StorageError(f"{self.name} is down")
+        shard = self.shard(table, partition_id)
+        if shard.applied_offset != -1:
+            raise StorageError(
+                f"{self.name}: {table}[{partition_id}] already applied "
+                f"offset {shard.applied_offset}; images install on "
+                f"fresh shards only")
+        codec = shard.store.codec
+        for payload in payloads:
+            row = codec.decode(payload)
+            self.governor.charge(codec.encoded_size(row))
+            shard.store.insert(row)
+        shard.applied_offset = applied_offset
+        return len(payloads)
+
     def shard(self, table: str, partition_id: int) -> Shard:
         try:
             return self._shards[(table, partition_id)]

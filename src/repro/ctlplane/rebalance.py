@@ -1,0 +1,250 @@
+"""Load-driven rebalancer: turn observed load into split/migrate plans.
+
+Sidiq et al.'s OpenMLDB performance analysis (arXiv:2509.15529) shows
+cluster throughput is governed by partition balance, so the rebalancer
+closes the loop between observation and topology: it reads the gauges
+the :mod:`repro.obs` registry already collects — per-replica
+``cluster.replication.lag`` and per-deployment ``serving.queue.depth``
+— plus per-tablet :class:`~repro.memory.governor.MemoryGovernor` byte
+accounting, and emits a bounded plan of
+:class:`SplitAction`/:class:`MigrateAction` steps:
+
+* a partition holding more than ``split_threshold_bytes`` *and* more
+  than ``imbalance_ratio`` times its table's mean partition size is
+  **split** (the hot-key absorber);
+* when the most-loaded tablet carries more than ``imbalance_ratio``
+  times the bytes of the least-loaded live tablet, one leader shard is
+  **migrated** from the former to the latter (the skew absorber);
+* a tablet whose worst ``cluster.replication.lag`` gauge exceeds
+  ``max_target_lag`` is never chosen as a migration target — moving
+  load onto a struggling replica only amplifies the imbalance;
+* while total ``serving.queue.depth`` exceeds ``queue_depth_limit``
+  the plan is capped to a single action per round — rebalancing under
+  overload must not add to the overload.
+
+:meth:`Rebalancer.run_once` executes the plan through a
+:class:`~repro.ctlplane.split.PartitionSplitter` and a
+:class:`~repro.ctlplane.migrate.ShardMigrator`, both of which keep the
+data plane serving throughout; every decision lands in the
+``ctl.rebalance.*`` metric series with its reason string.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..obs import Observability
+from .migrate import MigrationReport, ShardMigrator
+from .split import PartitionSplitter, SplitReport
+
+__all__ = ["SplitAction", "MigrateAction", "Rebalancer"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SplitAction:
+    """Plan step: split a hot partition into two children."""
+
+    table: str
+    partition_id: int
+    reason: str
+
+
+@dataclasses.dataclass(frozen=True)
+class MigrateAction:
+    """Plan step: move one shard replica between tablets."""
+
+    table: str
+    partition_id: int
+    source: str
+    target: str
+    reason: str
+
+
+Action = Union[SplitAction, MigrateAction]
+
+
+class Rebalancer:
+    """Observe load, emit a bounded plan, optionally execute it.
+
+    Args:
+        cluster: the :class:`~repro.cluster.NameServer` to balance.
+        splitter: executor for :class:`SplitAction`; built on demand.
+        migrator: executor for :class:`MigrateAction`; built on demand.
+        split_threshold_bytes: minimum partition size before a split is
+            worth its copy cost.
+        imbalance_ratio: hot/mean (splits) and max/min tablet
+            (migrations) ratio that counts as skew; must be > 1.
+        max_target_lag: worst acceptable ``cluster.replication.lag``
+            (entries) on a migration target.
+        queue_depth_limit: total ``serving.queue.depth`` beyond which
+            the plan is capped to one action.
+        max_actions: plan-size cap per round.
+    """
+
+    def __init__(self, cluster, splitter: Optional[PartitionSplitter] = None,
+                 migrator: Optional[ShardMigrator] = None,
+                 split_threshold_bytes: int = 64 * 1024,
+                 imbalance_ratio: float = 2.0,
+                 max_target_lag: int = 256,
+                 queue_depth_limit: int = 64,
+                 max_actions: int = 4,
+                 obs: Optional[Observability] = None) -> None:
+        if imbalance_ratio <= 1.0:
+            from ..errors import StorageError
+            raise StorageError("imbalance_ratio must be > 1")
+        self._cluster = cluster
+        self._splitter = splitter or PartitionSplitter(cluster)
+        self._migrator = migrator or ShardMigrator(cluster)
+        self._split_threshold = split_threshold_bytes
+        self._ratio = imbalance_ratio
+        self._max_target_lag = max_target_lag
+        self._queue_limit = queue_depth_limit
+        self._max_actions = max_actions
+        self._obs = obs if obs is not None else cluster.obs
+        registry = self._obs.registry
+        self._m_rounds = registry.counter("ctl.rebalance.rounds")
+        self._m_planned = registry.counter("ctl.rebalance.planned")
+        self._m_executed = registry.counter("ctl.rebalance.executed")
+        self._m_skipped = registry.counter("ctl.rebalance.skipped")
+
+    # ------------------------------------------------------------------
+    # observation
+
+    def tablet_bytes(self) -> Dict[str, int]:
+        """Live tablets' governor byte usage (the balance signal)."""
+        return {name: tablet.governor.used_bytes
+                for name, tablet in self._cluster.tablets.items()
+                if tablet.alive}
+
+    def worst_lag(self, tablet_name: str) -> int:
+        """Worst ``cluster.replication.lag`` gauge for one tablet."""
+        worst = 0
+        for instrument in self._obs.registry.series():
+            if instrument.kind != "gauge" \
+                    or instrument.name != "cluster.replication.lag":
+                continue
+            labels = dict(instrument.labels)
+            if labels.get("tablet") == tablet_name:
+                worst = max(worst, int(instrument.value))
+        return worst
+
+    def total_queue_depth(self) -> int:
+        """Sum of ``serving.queue.depth`` gauges across deployments."""
+        total = 0
+        for instrument in self._obs.registry.series():
+            if instrument.kind == "gauge" \
+                    and instrument.name == "serving.queue.depth":
+                total += int(instrument.value)
+        return total
+
+    def _partition_bytes(self, table) -> Dict[int, Tuple[int, str]]:
+        """Per-partition (leader bytes, leader name) for one table."""
+        sizes: Dict[int, Tuple[int, str]] = {}
+        for partition_id in list(table.assignment):
+            leader = self._cluster.leader_of(table.name, partition_id)
+            if leader is None:
+                continue
+            shard = leader.shard(table.name, partition_id)
+            sizes[partition_id] = (shard.store.memory_bytes, leader.name)
+        return sizes
+
+    # ------------------------------------------------------------------
+    # planning
+
+    def plan(self) -> List[Action]:
+        """Emit a bounded list of actions for the current load shape."""
+        actions: List[Action] = []
+        budget = self._max_actions
+        if self.total_queue_depth() > self._queue_limit:
+            budget = 1  # overloaded: tread lightly
+        for table in list(self._cluster.tables.values()):
+            sizes = self._partition_bytes(table)
+            if not sizes:
+                continue
+            mean = sum(b for b, _ in sizes.values()) / len(sizes)
+            for partition_id, (nbytes, _leader) in sorted(
+                    sizes.items(), key=lambda kv: -kv[1][0]):
+                if len(actions) >= budget:
+                    break
+                if nbytes >= self._split_threshold \
+                        and nbytes > self._ratio * max(mean, 1.0):
+                    actions.append(SplitAction(
+                        table.name, partition_id,
+                        reason=f"hot: {nbytes}B > "
+                               f"{self._ratio:g}x mean {mean:.0f}B"))
+        if len(actions) < budget:
+            migration = self._plan_migration()
+            if migration is not None:
+                actions.append(migration)
+        self._m_planned.inc(len(actions))
+        return actions
+
+    def _plan_migration(self) -> Optional[MigrateAction]:
+        loads = self.tablet_bytes()
+        if len(loads) < 2:
+            return None
+        busiest = max(loads, key=lambda n: loads[n])
+        targets = sorted(
+            (name for name in loads
+             if name != busiest
+             and self.worst_lag(name) <= self._max_target_lag),
+            key=lambda n: loads[n])
+        if not targets or loads[busiest] <= \
+                self._ratio * max(loads[targets[0]], 1):
+            return None
+        # Move the busiest tablet's largest leader shard to the first
+        # (least-loaded, lag-healthy) target not already hosting it.
+        candidates: List[Tuple[int, str, int]] = []
+        for table in list(self._cluster.tables.values()):
+            for partition_id, placement in list(table.assignment.items()):
+                if busiest not in placement:
+                    continue
+                leader = self._cluster.leader_of(table.name, partition_id)
+                if leader is None or leader.name != busiest:
+                    continue
+                nbytes = leader.shard(table.name,
+                                      partition_id).store.memory_bytes
+                candidates.append((nbytes, table.name, partition_id))
+        for nbytes, table_name, partition_id in sorted(candidates,
+                                                       reverse=True):
+            placement = self._cluster.table_info(
+                table_name).assignment[partition_id]
+            for target in targets:
+                if target not in placement:
+                    return MigrateAction(
+                        table_name, partition_id, busiest, target,
+                        reason=f"skew: {busiest}={loads[busiest]}B > "
+                               f"{self._ratio:g}x {target}="
+                               f"{loads[target]}B")
+        return None
+
+    # ------------------------------------------------------------------
+    # execution
+
+    def run_once(self) -> List[Union[SplitReport, MigrationReport]]:
+        """Plan and execute one round; returns the executed reports.
+
+        Actions that fail (e.g. a target died between plan and
+        execution) are counted as skipped, not raised — the next round
+        re-plans from fresh observations.
+        """
+        from ..errors import StorageError
+
+        self._m_rounds.inc()
+        reports: List[Union[SplitReport, MigrationReport]] = []
+        with self._obs.tracer.span("ctl.rebalance") as span:
+            for action in self.plan():
+                try:
+                    if isinstance(action, SplitAction):
+                        reports.append(self._splitter.split(
+                            action.table, action.partition_id))
+                    else:
+                        reports.append(self._migrator.migrate(
+                            action.table, action.partition_id,
+                            action.source, action.target))
+                    self._m_executed.inc()
+                except StorageError:
+                    self._m_skipped.inc()
+            span.set_tag(executed=len(reports))
+        return reports

@@ -1,0 +1,458 @@
+"""Stable routing and online partition split/merge.
+
+Two pieces live here:
+
+* :func:`stable_hash` / :class:`HashRouter` — the cluster's routing
+  directory.  Keys hash with CRC-32 over a type-tagged byte encoding
+  (stable across processes and ``PYTHONHASHSEED``, unlike the builtin
+  ``hash`` the nameserver used before), and the router maps the hash
+  space to partition ids through *residue classes*: entry ``(m, r)``
+  owns every key with ``hash % m == r``.  Splitting is linear hashing's
+  move — entry ``(m, r)`` forks into ``(2m, r)`` and ``(2m, r + m)`` —
+  so any single partition can split without touching its siblings, and
+  a merge is the exact inverse.
+
+* :class:`PartitionSplitter` — the online split/merge protocol over a
+  live :class:`~repro.cluster.NameServer`:
+
+  1. take the partition's write lock (writes pause; reads continue);
+  2. freeze the partition binlog at its current offset — the fork
+     point: every acknowledged write is at or before it;
+  3. host child shards on the parent's replica group and replay the
+     frozen binlog into them, each entry routed to its child by the
+     new ``(2m, ...)`` residue — children are built through the same
+     ``Replicator``/``replicate`` path replication and recovery use,
+     so their binlogs are immediately failover- and crash-safe;
+  4. atomically install the child routing entries and retire the
+     parent.  A request that already resolved the parent id gets
+     :class:`~repro.errors.ShardMovedError` and re-routes — installed
+     routing never drops an in-flight request.
+
+  A failure before step 4 unwinds the half-built children and leaves
+  the parent serving — a split either commits or never happened.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+import zlib
+from typing import (Any, Dict, List, Optional, Tuple, TYPE_CHECKING)
+
+from ..errors import StorageError
+from ..obs import Observability
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from ..cluster.nameserver import NameServer
+
+__all__ = ["HashRouter", "PartitionSplitter", "SplitPlan", "SplitReport",
+           "stable_hash"]
+
+#: Upper bound on routing-entry moduli: ``base << MAX_SPLIT_DEPTH``.
+#: 32 doublings of any starting layout is far beyond any real split
+#: schedule and bounds the router's lookup loop.
+MAX_SPLIT_DEPTH = 32
+
+
+def stable_hash(value: Any) -> int:
+    """A process-stable 32-bit hash for partition routing.
+
+    The builtin ``hash`` is randomized per process for strings
+    (``PYTHONHASHSEED``), so a durable cluster restarted over its
+    ``data_dir`` would route every string key to a different partition
+    than the one its rows live in.  This hash is CRC-32 over a
+    type-tagged byte encoding: deterministic everywhere, and shared by
+    the nameserver's routing and the split protocol's child fan-out.
+    """
+    if value is None:
+        payload = b"\x00"
+    elif isinstance(value, bool):
+        payload = b"b1" if value else b"b0"
+    elif isinstance(value, int):
+        payload = b"i%d" % value
+    elif isinstance(value, float):
+        payload = b"f" + repr(value).encode("ascii")
+    elif isinstance(value, str):
+        payload = b"s" + value.encode("utf-8")
+    elif isinstance(value, bytes):
+        payload = b"y" + value
+    else:
+        payload = b"o" + repr(value).encode("utf-8")
+    return zlib.crc32(payload) & 0xFFFFFFFF
+
+
+@dataclasses.dataclass(frozen=True)
+class SplitPlan:
+    """A planned (not yet committed) fork of one routing entry."""
+
+    parent: int
+    left: int
+    right: int
+    modulus: int        # the children's modulus (2x the parent's)
+    left_residue: int
+    right_residue: int
+
+    def child_for(self, hashed: int) -> int:
+        """Which child a hash value lands in under the new routing."""
+        return self.left if hashed % self.modulus == self.left_residue \
+            else self.right
+
+
+@dataclasses.dataclass(frozen=True)
+class MergePlan:
+    """A planned coalescing of two sibling routing entries."""
+
+    left: int
+    right: int
+    merged: int
+    modulus: int        # the merged entry's modulus (half the children's)
+    residue: int
+
+
+class HashRouter:
+    """Residue-class routing directory with linear-hashing splits.
+
+    The initial layout is modulo hashing: ``partitions`` entries
+    ``(partitions, r) -> r``.  Lookup walks moduli upward from the base
+    until it finds the entry owning ``hash % m`` — after ``d`` splits
+    of one lineage that is ``d`` dictionary probes, and the table always
+    tiles the hash space exactly (an invariant of the split/merge
+    moves).
+    """
+
+    def __init__(self, partitions: int) -> None:
+        if partitions < 1:
+            raise StorageError(
+                f"router needs at least one partition, got {partitions}")
+        self.base = partitions
+        self._lock = threading.Lock()
+        # (modulus, residue) -> partition id, and the inverse.
+        self._entries: Dict[Tuple[int, int], int] = {
+            (partitions, residue): residue
+            for residue in range(partitions)}
+        self._homes: Dict[int, Tuple[int, int]] = {
+            residue: (partitions, residue)
+            for residue in range(partitions)}
+        self._next_id = partitions
+
+    # ------------------------------------------------------------------
+    # lookup
+
+    def route(self, hashed: int) -> int:
+        """Partition id owning a hash value."""
+        with self._lock:
+            modulus = self.base
+            for _ in range(MAX_SPLIT_DEPTH + 1):
+                pid = self._entries.get((modulus, hashed % modulus))
+                if pid is not None:
+                    return pid
+                modulus <<= 1
+        raise StorageError(
+            f"routing table has no entry for hash {hashed}")
+
+    def route_key(self, key_value: Any) -> int:
+        return self.route(stable_hash(key_value))
+
+    def partition_ids(self) -> List[int]:
+        """Live partition ids, sorted (deterministic fan-out order)."""
+        with self._lock:
+            return sorted(self._homes)
+
+    def entry_of(self, partition_id: int) -> Tuple[int, int]:
+        """The ``(modulus, residue)`` class a partition owns."""
+        with self._lock:
+            try:
+                return self._homes[partition_id]
+            except KeyError:
+                raise StorageError(
+                    f"partition {partition_id} is not in the routing "
+                    f"table") from None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._homes)
+
+    # ------------------------------------------------------------------
+    # split / merge
+
+    def plan_split(self, partition_id: int) -> SplitPlan:
+        """Reserve child ids and compute the fork of one entry.
+
+        Planning does not change routing; :meth:`commit_split` installs
+        it atomically.  Ids reserved by an abandoned plan are simply
+        never used.
+        """
+        with self._lock:
+            home = self._homes.get(partition_id)
+            if home is None:
+                raise StorageError(
+                    f"cannot split partition {partition_id}: not in the "
+                    f"routing table")
+            modulus, residue = home
+            if modulus >= self.base << MAX_SPLIT_DEPTH:
+                raise StorageError(
+                    f"partition {partition_id} reached the maximum "
+                    f"split depth")
+            left, right = self._next_id, self._next_id + 1
+            self._next_id += 2
+            return SplitPlan(parent=partition_id, left=left, right=right,
+                             modulus=modulus * 2, left_residue=residue,
+                             right_residue=residue + modulus)
+
+    def commit_split(self, plan: SplitPlan) -> None:
+        """Atomically replace the parent entry with its two children."""
+        parent_home = (plan.modulus // 2, plan.left_residue)
+        with self._lock:
+            if self._homes.get(plan.parent) != parent_home:
+                raise StorageError(
+                    f"split of partition {plan.parent} lost a race: its "
+                    f"routing entry changed underneath the plan")
+            del self._entries[parent_home]
+            del self._homes[plan.parent]
+            self._entries[(plan.modulus, plan.left_residue)] = plan.left
+            self._entries[(plan.modulus, plan.right_residue)] = plan.right
+            self._homes[plan.left] = (plan.modulus, plan.left_residue)
+            self._homes[plan.right] = (plan.modulus, plan.right_residue)
+
+    def plan_merge(self, left: int, right: int) -> MergePlan:
+        """Plan coalescing two *sibling* entries back into one."""
+        with self._lock:
+            home_a = self._homes.get(left)
+            home_b = self._homes.get(right)
+            if home_a is None or home_b is None:
+                raise StorageError(
+                    f"cannot merge {left} and {right}: not in the "
+                    f"routing table")
+            (mod_a, res_a), (mod_b, res_b) = home_a, home_b
+            half = mod_a // 2
+            if mod_a != mod_b or mod_a <= self.base \
+                    or abs(res_a - res_b) != half \
+                    or res_a % half != res_b % half:
+                raise StorageError(
+                    f"partitions {left} and {right} are not split "
+                    f"siblings (entries {home_a} and {home_b})")
+            merged = self._next_id
+            self._next_id += 1
+            return MergePlan(left=left, right=right, merged=merged,
+                             modulus=half, residue=min(res_a, res_b))
+
+    def commit_merge(self, plan: MergePlan) -> None:
+        with self._lock:
+            child_homes = {self._homes.get(plan.left),
+                           self._homes.get(plan.right)}
+            expected = {(plan.modulus * 2, plan.residue),
+                        (plan.modulus * 2, plan.residue + plan.modulus)}
+            if child_homes != expected:
+                raise StorageError(
+                    f"merge of {plan.left}+{plan.right} lost a race: "
+                    f"routing entries changed underneath the plan")
+            for child in (plan.left, plan.right):
+                del self._entries[self._homes.pop(child)]
+            self._entries[(plan.modulus, plan.residue)] = plan.merged
+            self._homes[plan.merged] = (plan.modulus, plan.residue)
+
+    # ------------------------------------------------------------------
+    # durability (the nameserver persists this with the table layout)
+
+    def state(self) -> Dict[str, Any]:
+        """Plain-data snapshot, JSON-serialisable."""
+        with self._lock:
+            return {"base": self.base, "next_id": self._next_id,
+                    "entries": sorted(
+                        [modulus, residue, pid]
+                        for (modulus, residue), pid
+                        in self._entries.items())}
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "HashRouter":
+        router = cls(int(state["base"]))
+        entries = {(int(m), int(r)): int(pid)
+                   for m, r, pid in state["entries"]}
+        router._entries = entries
+        router._homes = {pid: key for key, pid in entries.items()}
+        router._next_id = int(state["next_id"])
+        return router
+
+
+@dataclasses.dataclass
+class SplitReport:
+    """What one committed split (or merge) did."""
+
+    table: str
+    parent_ids: Tuple[int, ...]
+    child_ids: Tuple[int, ...]
+    freeze_offsets: Dict[int, int] = dataclasses.field(default_factory=dict)
+    moved_entries: Dict[int, int] = dataclasses.field(default_factory=dict)
+    seconds: float = 0.0
+
+
+class PartitionSplitter:
+    """Online split/merge executor over one cluster."""
+
+    def __init__(self, cluster: "NameServer",
+                 obs: Optional[Observability] = None) -> None:
+        self._cluster = cluster
+        self._obs = obs if obs is not None else cluster.obs
+        registry = self._obs.registry
+        self._m_splits = registry.counter("ctl.splits")
+        self._m_merges = registry.counter("ctl.merges")
+        self._m_moved = registry.counter("ctl.split.moved_entries")
+        self._h_split = registry.histogram("ctl.split.ms")
+
+    # ------------------------------------------------------------------
+
+    def split(self, table_name: str, partition_id: int) -> SplitReport:
+        """Fork one live partition into two children, online.
+
+        Writes to the partition pause for the duration (they hold the
+        same per-partition lock every ``put`` takes); reads keep being
+        served by the parent until the child routing is installed, then
+        re-route.  Returns a :class:`SplitReport`.
+        """
+        ns = self._cluster
+        table = ns.table_info(table_name)
+        start = time.perf_counter()
+        with self._obs.tracer.span("ctl.split", table=table_name,
+                                   partition=partition_id) as span:
+            with ns.partition_lock(table_name, partition_id):
+                plan = table.router.plan_split(partition_id)
+                binlog = table.binlogs[partition_id]
+                freeze_offset = binlog.last_offset
+                placement = list(table.assignment[partition_id])
+                leader = self._leader_name(table_name, partition_id,
+                                           placement)
+                key_position = table.schema.position(
+                    table.indexes[0].key_columns[0])
+                children = {}
+                try:
+                    for child in (plan.left, plan.right):
+                        children[child] = ns.register_partition(
+                            table_name, child, placement, leader)
+                    moved = self._fork_entries(
+                        ns, table_name, placement, leader, binlog, plan,
+                        key_position, children)
+                except StorageError:
+                    # Unwind the half-built children; the parent never
+                    # stopped serving, so the split simply didn't happen.
+                    for child in children:
+                        ns.retire_partition(table_name, child)
+                    raise
+                table.router.commit_split(plan)
+                ns.retire_partition(table_name, partition_id)
+                ns.save_layout(table_name)
+            span.set_tag(left=plan.left, right=plan.right,
+                         moved=sum(moved.values()))
+        seconds = time.perf_counter() - start
+        self._m_splits.inc()
+        self._m_moved.inc(sum(moved.values()))
+        self._h_split.observe(seconds * 1_000.0)
+        return SplitReport(
+            table=table_name, parent_ids=(partition_id,),
+            child_ids=(plan.left, plan.right),
+            freeze_offsets={partition_id: freeze_offset},
+            moved_entries=moved, seconds=seconds)
+
+    def merge(self, table_name: str, left: int, right: int) -> SplitReport:
+        """Coalesce two split siblings back into one partition, online.
+
+        The inverse of :meth:`split`: both children's writes pause,
+        their binlogs replay (left first, then right — keys are
+        disjoint, so per-key order is preserved) into a fresh merged
+        partition hosted on the left child's replica group, then the
+        merged routing entry is installed and both children retire.
+        """
+        ns = self._cluster
+        table = ns.table_info(table_name)
+        start = time.perf_counter()
+        first, second = sorted((left, right))
+        with self._obs.tracer.span("ctl.merge", table=table_name,
+                                   left=left, right=right) as span:
+            # Lock both children in id order so concurrent merges can
+            # never deadlock.
+            with ns.partition_lock(table_name, first):
+                with ns.partition_lock(table_name, second):
+                    plan = table.router.plan_merge(left, right)
+                    placement = list(table.assignment[left])
+                    leader = self._leader_name(table_name, left, placement)
+                    merged_log = ns.register_partition(
+                        table_name, plan.merged, placement, leader)
+                    moved = 0
+                    try:
+                        for child in (left, right):
+                            for entry in table.binlogs[child] \
+                                    .entries_from(0):
+                                self._apply_entry(
+                                    ns, table_name, plan.merged,
+                                    placement, leader, merged_log,
+                                    entry.row)
+                                moved += 1
+                    except StorageError:
+                        ns.retire_partition(table_name, plan.merged)
+                        raise
+                    table.router.commit_merge(plan)
+                    for child in (left, right):
+                        ns.retire_partition(table_name, child)
+                    ns.save_layout(table_name)
+            span.set_tag(merged=plan.merged, moved=moved)
+        seconds = time.perf_counter() - start
+        self._m_merges.inc()
+        self._m_moved.inc(moved)
+        self._h_split.observe(seconds * 1_000.0)
+        return SplitReport(
+            table=table_name, parent_ids=(left, right),
+            child_ids=(plan.merged,), moved_entries={plan.merged: moved},
+            seconds=seconds)
+
+    # ------------------------------------------------------------------
+
+    def _leader_name(self, table_name: str, partition_id: int,
+                     placement: List[str]) -> str:
+        """The replica to lead the children: the parent's live leader,
+        else the first live replica (the parent had no leader — the
+        children start in the same degraded state)."""
+        ns = self._cluster
+        for name in placement:
+            tablet = ns.tablets[name]
+            if tablet.alive and tablet.has_shard(table_name, partition_id) \
+                    and tablet.shard(table_name, partition_id).is_leader:
+                return name
+        for name in placement:
+            if ns.tablets[name].alive:
+                return name
+        raise StorageError(
+            f"cannot split {table_name}[{partition_id}]: no live replica")
+
+    def _fork_entries(self, ns: "NameServer", table_name: str,
+                      placement: List[str], leader: str, binlog: Any,
+                      plan: SplitPlan, key_position: int,
+                      children: Dict[int, Any]) -> Dict[int, int]:
+        """Replay the frozen parent binlog into the children."""
+        moved = {plan.left: 0, plan.right: 0}
+        for entry in binlog.entries_from(0):
+            child = plan.child_for(stable_hash(entry.row[key_position]))
+            self._apply_entry(ns, table_name, child, placement, leader,
+                              children[child], entry.row)
+            moved[child] += 1
+        return moved
+
+    def _apply_entry(self, ns: "NameServer", table_name: str,
+                     partition_id: int, placement: List[str], leader: str,
+                     binlog: Any, row: Tuple[Any, ...]) -> None:
+        """Append one row to a child binlog and apply it to replicas.
+
+        The leader replica must apply (a child whose leader cannot hold
+        the data is a failed split); follower failures are left as
+        replication lag to be repaired by catch-up or failover, exactly
+        like the normal write path.
+        """
+        offset = binlog.append_entry(table_name, row)
+        for name in placement:
+            tablet = ns.tablets[name]
+            if not tablet.has_shard(table_name, partition_id):
+                continue
+            try:
+                tablet.replicate(table_name, partition_id, row, offset)
+            except StorageError:
+                if name == leader:
+                    raise

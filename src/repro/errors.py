@@ -86,6 +86,18 @@ class RpcTimeoutError(StorageError):
     """
 
 
+class ShardMovedError(StorageError):
+    """Raised when a routed call lands on a retired partition.
+
+    The control plane (``repro.ctlplane``) splits, merges, and migrates
+    partitions online; a caller that resolved a partition id just before
+    the routing table changed may still address the old shard.  The
+    error is a *redirect*, not a failure: routing layers catch it,
+    re-resolve the key against the fresh routing table, and retry — an
+    in-flight request is never dropped by a topology change.
+    """
+
+
 class StaleReadError(StorageError):
     """Raised when a degraded follower read exceeds its staleness bound.
 
@@ -146,6 +158,26 @@ class OverloadError(ServingError):
         super().__init__(message)
         self.deployment = deployment
         self.reason = reason
+
+
+class TenantBudgetError(OverloadError):
+    """Raised when a tenant exceeds its rate or memory budget.
+
+    The control plane's tenant registry (``repro.ctlplane.registry``)
+    gives each tenant a request-rate token bucket and a memory budget;
+    admission control sheds the *offending tenant's* traffic with this
+    error while other tenants keep their latency budgets.  ``reason``
+    is ``"tenant_rate"`` (token bucket empty) or ``"tenant_memory"``
+    (write would exceed the memory budget).  As an
+    :class:`OverloadError` it crosses the network frontend as a
+    retryable class-53 SQLSTATE (``53400``).
+    """
+
+    def __init__(self, message: str, tenant: str = "",
+                 deployment: str = "", reason: str = "tenant_rate"
+                 ) -> None:
+        super().__init__(message, deployment=deployment, reason=reason)
+        self.tenant = tenant
 
 
 class DeadlineExceededError(ServingError):

@@ -206,6 +206,7 @@ class NetServer:
         except (TypeError, ValueError):  # builtins / mocks
             request_params = {}
         self._request_takes_timeout = "timeout_ms" in request_params
+        self._request_takes_tenant = "tenant" in request_params
 
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
@@ -722,29 +723,43 @@ class NetServer:
         assert isinstance(statement, ExecuteDeployment)
         assert portal.row is not None
         timeout_ms = session.timeout_ms
+        tenant = session.settings.get("user", "")
         loop = asyncio.get_running_loop()
         features = await loop.run_in_executor(
             self._executor, self._request_blocking,
-            statement.deployment, portal.row, timeout_ms, protocol)
+            statement.deployment, portal.row, timeout_ms, protocol,
+            tenant)
         ordered = [features.get(name)
                    for name in prepared.descriptor.output_names]
         return [[wire.encode_text(value) for value in ordered]]
 
     def _request_blocking(self, deployment: str, row: Tuple[Any, ...],
                           timeout_ms: Optional[float],
-                          protocol: str) -> Dict[str, Any]:
-        """The executor-thread half of Execute: backend call + tracing."""
+                          protocol: str,
+                          tenant: str = "") -> Dict[str, Any]:
+        """The executor-thread half of Execute: backend call + tracing.
+
+        The session's startup ``user`` rides along as the tenant when
+        the backend's ``request`` accepts one (the serving frontend
+        does), so per-tenant budgets apply to network clients with no
+        wire-protocol extension — PostgreSQL already sends the user.
+        """
         started = time.monotonic()
+        kwargs: Dict[str, Any] = {}
+        if tenant and self._request_takes_tenant:
+            kwargs["tenant"] = tenant
         with self._obs.tracer.span("net.request", deployment=deployment,
                                    protocol=protocol):
             try:
                 if self._request_takes_timeout:
                     return self._backend.request(
-                        deployment, row, timeout_ms=timeout_ms)
+                        deployment, row, timeout_ms=timeout_ms,
+                        **kwargs)
                 if timeout_ms is not None:
                     with deadline_scope(Deadline.after(timeout_ms)):
-                        return self._backend.request(deployment, row)
-                return self._backend.request(deployment, row)
+                        return self._backend.request(deployment, row,
+                                                     **kwargs)
+                return self._backend.request(deployment, row, **kwargs)
             finally:
                 self._h_request.observe(
                     (time.monotonic() - started) * 1_000.0)

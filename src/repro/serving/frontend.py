@@ -68,6 +68,12 @@ class FrontendServer:
         default_timeout_ms: deadline applied when a request does not
             bring its own; ``None`` means no deadline by default.
         single_flight: collapse identical concurrent requests.
+        tenants: optional :class:`~repro.ctlplane.TenantRegistry`; when
+            set, every request's ``tenant`` is charged one token from
+            that tenant's rate budget *before* admission, so an
+            over-rate tenant is shed at the door
+            (:class:`~repro.errors.TenantBudgetError`) without ever
+            occupying a queue slot other tenants need.
     """
 
     def __init__(self, backend: Any,
@@ -78,9 +84,11 @@ class FrontendServer:
                  max_batch: int = 8,
                  max_wait_ms: float = 1.0,
                  default_timeout_ms: Optional[float] = None,
-                 single_flight: bool = True) -> None:
+                 single_flight: bool = True,
+                 tenants: Optional[Any] = None) -> None:
         self._backend = backend
         self._obs = obs or NULL_OBS
+        self._tenants = tenants
         self._default_timeout_ms = default_timeout_ms
         self._single_flight = single_flight
         self._seq = itertools.count()
@@ -116,7 +124,8 @@ class FrontendServer:
 
     def request(self, name: str, row: Sequence[Any], *,
                 timeout_ms: Optional[float] = None,
-                priority: str = "normal") -> Dict[str, Any]:
+                priority: str = "normal",
+                tenant: str = "") -> Dict[str, Any]:
         """Execute one request through admission, batching, and dedup.
 
         Blocks until the features are ready (closed-loop clients), the
@@ -130,6 +139,11 @@ class FrontendServer:
                 frontend's ``default_timeout_ms``.
             priority: ``"high"`` / ``"normal"`` / ``"low"`` — under
                 pressure, high outranks (and may evict) low.
+            tenant: charge this tenant's rate budget (requires a
+                registry via the ``tenants`` constructor arg); an
+                over-rate tenant is shed with
+                :class:`~repro.errors.TenantBudgetError` before
+                admission, so its burst cannot crowd out others.
         """
         try:
             rank = PRIORITIES[priority]
@@ -138,6 +152,12 @@ class FrontendServer:
                 f"unknown priority {priority!r} "
                 f"(expected one of {sorted(PRIORITIES)})",
                 deployment=name, reason="bad_priority") from None
+        if self._tenants is not None and tenant:
+            try:
+                self._tenants.acquire(tenant, deployment=name)
+            except OverloadError as exc:
+                self._count_shed(name, exc.reason)
+                raise
         budget = timeout_ms if timeout_ms is not None \
             else self._default_timeout_ms
         deadline = Deadline.after(budget) if budget is not None else None

@@ -362,3 +362,173 @@ class TestClosedLoopFailover:
         assert isinstance(cluster.request("feat", (0, 1_500, 9.0)),
                           dict)
         assert obs.registry.get("ns.requests").value == attempts + 1
+
+
+class TestLiveMigrationRaces:
+    """Elastic-data-plane concurrency: traffic racing a live shard
+    move, and a tablet dying in the middle of one."""
+
+    FAST = RetryPolicy(attempts=4, base_delay_ms=0.1, multiplier=2.0,
+                       max_delay_ms=2.0, rpc_timeout_ms=50.0)
+
+    def _make_cluster(self, obs=None):
+        schema = Schema.from_pairs([
+            ("uid", "int"), ("ts", "timestamp"), ("v", "double")])
+        tablets = [TabletServer(f"tablet-{i}") for i in range(4)]
+        cluster = NameServer(tablets, retry_policy=self.FAST, obs=obs)
+        cluster.create_table("t", schema, [IndexDef(("uid",), "ts")],
+                             partitions=2, replicas=2)
+        for uid in range(8):
+            for k in range(5):
+                cluster.put("t", (uid, 1_000 + k * 100, float(k)))
+        cluster.deploy(
+            "feat",
+            "SELECT uid, sum(v) OVER w AS s FROM t "
+            "WINDOW w AS (PARTITION BY uid ORDER BY ts "
+            "ROWS_RANGE BETWEEN 1000 PRECEDING AND CURRENT ROW)")
+        return cluster
+
+    def _migration_edge(self, cluster, partition_id=0):
+        table = cluster.tables["t"]
+        source = table.assignment[partition_id][0]
+        target = next(name for name in cluster.tablets
+                      if name not in table.assignment[partition_id])
+        return source, target
+
+    def test_puts_and_requests_race_a_live_migration(self):
+        from repro.ctlplane import ShardMigrator
+
+        cluster = self._make_cluster()
+        stop = threading.Event()
+        last_acked = {}       # uid -> highest acknowledged ts
+        put_errors = []
+        outcomes = []
+        outcomes_lock = threading.Lock()
+
+        def writer(uid):
+            # One writer per uid: the final acknowledged ts is the
+            # value get_latest must serve after the dust settles.
+            ts = 10_000
+            try:
+                while not stop.is_set():
+                    cluster.put("t", (uid, ts, 1.0))
+                    last_acked[uid] = ts
+                    ts += 10
+            except Exception as exc:  # pragma: no cover
+                put_errors.append(exc)
+
+        def requester():
+            seq = 0
+            while not stop.is_set():
+                try:
+                    out = cluster.request("feat", (seq % 8, 1_500, 9.0))
+                except OpenMLDBError as exc:
+                    out = exc
+                with outcomes_lock:
+                    outcomes.append(out)
+                seq += 1
+
+        threads = [threading.Thread(target=writer, args=(uid,))
+                   for uid in range(4)]
+        threads += [threading.Thread(target=requester)
+                    for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        try:
+            source, target = self._migration_edge(cluster)
+            report = ShardMigrator(cluster, handoff_threshold=8) \
+                .migrate("t", 0, source, target)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=60)
+        assert not any(thread.is_alive() for thread in threads)
+        # A migration is kill-free: racing puts are NEVER rejected.
+        assert not put_errors
+        assert report.target == target
+        assert target in cluster.tables["t"].assignment[0]
+        for out in outcomes:
+            assert isinstance(out, (dict, OpenMLDBError))
+        assert any(isinstance(out, dict) for out in outcomes)
+        # Zero acknowledged-write loss across the move.
+        for uid, ts in last_acked.items():
+            hit = cluster.get_latest("t", uid)
+            assert hit is not None and hit[0] == ts
+        # Every replica of every partition holds the full prefix.
+        table = cluster.tables["t"]
+        for pid, names in table.assignment.items():
+            last = table.binlogs[pid].last_offset
+            for name in names:
+                shard = cluster.tablets[name].shard("t", pid)
+                assert shard.applied_offset == last
+        cluster.close()
+
+    def test_source_leader_dies_mid_migration(self):
+        """Kill the migration's source (a partition leader) while the
+        chase is running: the move must either complete — the binlog,
+        not the source, is the transfer source of truth — or fail with
+        a typed StorageError; either way no acknowledged write is lost
+        and the cluster keeps serving."""
+        from repro.ctlplane import ShardMigrator
+
+        obs = Observability(enabled=True)
+        cluster = self._make_cluster(obs=obs)
+        # Bulk up partition 0's binlog so the chase has real work.
+        heavy = [uid for uid in range(8)
+                 if cluster.partition_for("t", uid) == 0]
+        for k in range(400):
+            cluster.put("t", (heavy[0], 2_000 + k, float(k)))
+        source, target = self._migration_edge(cluster)
+        stop = threading.Event()
+        last_acked = {}
+        put_outcomes = []
+
+        def writer(uid):
+            ts = 10_000
+            while not stop.is_set():
+                try:
+                    cluster.put("t", (uid, ts, 1.0))
+                    last_acked[uid] = ts
+                except OpenMLDBError as exc:
+                    put_outcomes.append(exc)
+                ts += 10
+
+        box = {}
+
+        def run_migration():
+            try:
+                box["report"] = ShardMigrator(
+                    cluster, handoff_threshold=4).migrate(
+                        "t", 0, source, target)
+            except StorageError as exc:
+                box["error"] = exc
+            except Exception as exc:  # pragma: no cover
+                box["bare"] = exc
+
+        threads = [threading.Thread(target=writer, args=(uid,))
+                   for uid in heavy[:2]]
+        mover = threading.Thread(target=run_migration)
+        for thread in threads:
+            thread.start()
+        mover.start()
+        FaultInjector(cluster).kill(source)
+        mover.join(timeout=60)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not mover.is_alive()
+        assert "bare" not in box, box  # only typed failures allowed
+        assert "report" in box or "error" in box
+        # Racing puts only ever fail typed (retries cover the blip).
+        for out in put_outcomes:
+            assert isinstance(out, OpenMLDBError)
+        # The partition still has a live leader and serves.
+        cluster.handle_failure(source)
+        leader = cluster.leader_of("t", 0)
+        assert leader.alive and leader.name != source
+        for uid, ts in last_acked.items():
+            hit = cluster.get_latest("t", uid)
+            assert hit is not None and hit[0] == ts
+        assert isinstance(cluster.request("feat", (heavy[0], 1_500, 9.0)),
+                          dict)
+        cluster.close()

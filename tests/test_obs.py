@@ -306,10 +306,10 @@ class TestClusterStitching:
             [("uid", "int"), ("ts", "timestamp"), ("amt", "double")])
         profile = Schema.from_pairs(
             [("puid", "int"), ("pts", "timestamp"), ("tier", "string")])
-        # Int keys: hash(int) is unsalted, so routing is deterministic.
-        # Different partition counts make uid=3 land on different
-        # tablets for the two tables (events → partition 3 on tablet-1,
-        # profile → partition 0 on tablet-0).
+        # Routing uses the cluster's stable hash, so partition choice
+        # is deterministic.  Different partition counts make uid=6 land
+        # on different tablets for the two tables (events → partition 0
+        # on tablet-0, profile → partition 1 on tablet-1).
         ns.create_table("events", events, [IndexDef(("uid",), "ts")],
                         partitions=4, replicas=2)
         ns.create_table("profile", profile, [IndexDef(("puid",), "pts")],
@@ -329,7 +329,7 @@ class TestClusterStitching:
 
     def test_one_request_yields_one_stitched_trace(self, cluster):
         ns, obs = cluster
-        features = ns.request("feat", (3, 1_500, 9.0))
+        features = ns.request("feat", (6, 1_500, 9.0))
         assert features["s"] == pytest.approx(19.0)
         assert features["tier"] == "tier-0"
         spans = obs.tracer.last_trace()
