@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test lint verify verify-docs bench bench-smoke recover-smoke \
-	offline-smoke elastic-smoke examples profile
+	offline-smoke elastic-smoke adaptive-smoke examples profile
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -20,7 +20,8 @@ lint:
 		$(PYTHON) tools/lint.py src tests benchmarks; \
 	fi
 
-verify: lint test recover-smoke offline-smoke elastic-smoke bench-smoke
+verify: lint test recover-smoke offline-smoke elastic-smoke \
+	adaptive-smoke bench-smoke
 
 # Extract and execute every fenced python block in README.md and
 # docs/*.md — documentation code must actually run.
@@ -52,6 +53,12 @@ recover-smoke:
 # acknowledged-write loss and byte-identical answers vs a twin.
 elastic-smoke:
 	$(PYTHON) -m pytest tests/test_elastic.py -q -k smoke
+
+# Adaptive execution round trip: the cost router promotes hot keys and
+# re-buckets preaggs mid-stream while answers stay byte-identical to a
+# static twin.
+adaptive-smoke:
+	$(PYTHON) -m pytest tests/test_adaptive.py -q -k smoke
 
 examples:
 	for script in examples/*.py; do $(PYTHON) $$script || exit 1; done

@@ -280,11 +280,21 @@ class OpenMLDB:
 
     def deploy(self, name: str, sql: str,
                long_windows: Optional[str] = None,
-               preagg_levels: int = 2) -> Deployment:
+               preagg_levels: int = 2,
+               adaptive: bool = False,
+               router_config: Optional[Any] = None) -> Deployment:
         """Compile and deploy a feature script for online serving.
 
         ``long_windows`` takes the same string as the SQL OPTIONS form,
         e.g. ``"w1:1d"`` (Figure 11).
+
+        ``adaptive=True`` replaces the deploy-time eligibility rules
+        with a live-metrics :class:`~repro.adaptive.ExecutionRouter`:
+        incremental state starts empty and is provisioned per key as
+        traffic justifies it (within the governor's memory budget), and
+        pre-aggregation bucket widths follow the observed span
+        distribution.  ``router_config`` takes a
+        :class:`~repro.adaptive.RouterConfig` override.
         """
         statement = parse(sql)
         if isinstance(statement, ast.DeployStatement):
@@ -302,10 +312,14 @@ class OpenMLDB:
                 name=name, select=statement, options=options)
         else:
             raise DeploymentError("deploy() expects a SELECT or DEPLOY")
-        return self._execute_deploy(deploy_statement, sql)
+        return self._execute_deploy(deploy_statement, sql,
+                                    adaptive=adaptive,
+                                    router_config=router_config)
 
     def _execute_deploy(self, statement: ast.DeployStatement,
-                        sql: str) -> Deployment:
+                        sql: str, adaptive: bool = False,
+                        router_config: Optional[Any] = None
+                        ) -> Deployment:
         if statement.name in self.deployments:
             raise DeploymentError(
                 f"deployment {statement.name!r} already exists")
@@ -320,8 +334,14 @@ class OpenMLDB:
         deployment = Deployment.from_statement(statement, sql, compiled)
         deployment.initialize_preagg(self.tables, self._register_updater,
                                      obs=self.obs)
-        deployment.initialize_incremental(self.tables,
-                                          self._register_updater)
+        if adaptive:
+            deployment.initialize_adaptive(
+                self.tables, self._register_updater,
+                governor=self.governor, obs=self.obs,
+                config=router_config)
+        else:
+            deployment.initialize_incremental(self.tables,
+                                              self._register_updater)
         self.deployments[statement.name] = deployment
         return deployment
 
@@ -359,16 +379,17 @@ class OpenMLDB:
         preagg = deployment.preaggs if deployment.uses_preagg else None
         incremental = (deployment.incrementals
                        if deployment.uses_incremental else None)
+        router = deployment.router
         if not self.obs.enabled:
             return self.online_engine.execute_request(
                 deployment.compiled, row, preagg=preagg,
-                incremental=incremental)
+                incremental=incremental, router=router)
         start = time.perf_counter()
         with self.obs.tracer.span("deployment.execute",
                                   deployment=deployment_name):
             features = self.online_engine.execute_request(
                 deployment.compiled, row, preagg=preagg,
-                incremental=incremental)
+                incremental=incremental, router=router)
         self._h_request.observe((time.perf_counter() - start) * 1_000)
         return features
 

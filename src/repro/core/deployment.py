@@ -61,6 +61,17 @@ class Deployment:
     incrementals: Dict[str, IncrementalWindowState] = dataclasses.field(
         default_factory=dict)
     backfill_seconds: float = 0.0
+    #: Set by :meth:`initialize_adaptive`: the execution router picking
+    #: tiers and managing incremental/preagg state at runtime.
+    router: Optional[Any] = dataclasses.field(default=None, repr=False)
+    _tables: Optional[Mapping[str, Any]] = dataclasses.field(
+        default=None, repr=False, compare=False)
+    _register_updater: Optional[Callable[[str, Callable], None]] = \
+        dataclasses.field(default=None, repr=False, compare=False)
+    _preagg_levels: int = dataclasses.field(
+        default=2, repr=False, compare=False)
+    _obs: Optional[Any] = dataclasses.field(
+        default=None, repr=False, compare=False)
 
     @classmethod
     def from_statement(cls, statement: ast.DeployStatement, sql: str,
@@ -146,7 +157,8 @@ class Deployment:
 
     def initialize_incremental(
             self, tables: Mapping[str, Any],
-            register_updater: Callable[[str, Callable], None]) -> None:
+            register_updater: Callable[[str, Callable], None],
+            selective: bool = False) -> None:
         """Create, backfill, and wire ingest-time window state.
 
         Every *eligible* window gets a per-key running aggregate state
@@ -157,6 +169,11 @@ class Deployment:
         served by long-window pre-aggregation keep that path.  Anything
         ineligible silently stays on the scan-fold path — incremental
         state is an accelerator, never a semantics change.
+
+        With ``selective=True`` (adaptive deployments) the states start
+        *empty* — no deploy-time backfill, no per-key aggregators — and
+        the execution router provisions individual keys at runtime when
+        their request rate justifies the ingest cost.
         """
         table_name = self.compiled.plan.table
         table = tables.get(table_name)
@@ -166,13 +183,148 @@ class Deployment:
             if not window.aggregates or name in self.preaggs:
                 continue
             state = IncrementalWindowState.for_window(
-                window, tables, table_name)
+                window, tables, table_name, selective=selective)
             if state is None:
                 continue
-            state.backfill(table.rows())
+            if not selective:
+                state.backfill(table.rows())
             register_updater(table_name, state.make_update_closure())
+            if selective:
+                # Seed rows_seen after registration: a racing insert is
+                # then covered by the updater or the count, never lost.
+                state.mark_caught_up()
             table.subscribe_eviction(state.on_ttl_evict)
             self.incrementals[name] = state
+
+    def initialize_adaptive(
+            self, tables: Mapping[str, Any],
+            register_updater: Callable[[str, Callable], None],
+            governor: Optional[Any] = None, obs: Optional[Any] = None,
+            config: Optional[Any] = None,
+            preagg_levels: int = 2) -> Any:
+        """Wire adaptive execution: selective state + a cost router.
+
+        Call *instead of* :meth:`initialize_incremental`, after
+        :meth:`initialize_preagg`.  Builds selective (router-managed)
+        incremental states, constructs the
+        :class:`~repro.adaptive.ExecutionRouter`, and hands it this
+        deployment as its host plus the memory governor as its
+        promotion budget.  Returns the router.
+        """
+        from ..adaptive import ExecutionRouter
+
+        self._tables = tables
+        self._register_updater = register_updater
+        self._preagg_levels = preagg_levels
+        self._obs = obs
+        self.initialize_incremental(tables, register_updater,
+                                    selective=True)
+        router = ExecutionRouter(config=config, obs=obs)
+        router.bind_host(self)
+        router.bind_governor(governor)
+        self.router = router
+        return router
+
+    # -- adaptive host hooks (called from ExecutionRouter.tick) --------
+
+    def rebucket_preagg(self, window_name: str, bucket_ms: int) -> bool:
+        """Swap a window's pre-aggregators for ones with a new width.
+
+        The swap is answer-invariant or refused.  Protocol (the same
+        caught-up + double-read discipline as
+        :meth:`IncrementalWindowState.provision_key`):
+
+        1. read ``n0 = row_count``; require every current aggregator to
+           have absorbed ``>= n0`` rows — which proves every counted
+           row's insert (and its closure registration snapshot)
+           completed *before* this point, so no pending closure can
+           later feed the new aggregators a row the backfill already
+           replayed;
+        2. backfill fresh aggregators from a single log snapshot of
+           exactly ``n0`` rows;
+        3. register the new closures, then re-read ``row_count`` — a row
+           landing before registration would have bumped it, so on
+           mismatch the new closures are retired and the swap aborts
+           (the old aggregators never stopped, nothing was lost);
+        4. retire the old closures and publish the new slot map.
+
+        Returns True when the swap happened; False means "retry a later
+        tick" and leaves the old aggregators serving.
+        """
+        if self._tables is None or self._register_updater is None:
+            return False
+        option = next((opt for opt in self.long_windows
+                       if opt.window == window_name), None)
+        old_slots = self.preaggs.get(window_name)
+        window = self.compiled.windows.get(window_name)
+        if option is None or not old_slots or window is None:
+            return False
+        if bucket_ms <= 0 \
+                or next(iter(old_slots.values())).bucket_ms == bucket_ms:
+            return False
+        table = self._tables[self.compiled.plan.table]
+        before = table.row_count
+        if any(agg.rows_absorbed < before for agg in old_slots.values()):
+            return False  # maintenance lag: the log snapshot could race
+        rows = list(table.rows())
+        if len(rows) != before:
+            return False
+        sized = LongWindowOption(window=window_name, bucket_ms=bucket_ms)
+        new_slots: Dict[int, PreAggregator] = {}
+        for compiled_agg in window.aggregates:
+            if compiled_agg.slot not in old_slots:
+                continue
+            aggregator = self._build_aggregator(
+                window, compiled_agg, sized, self._preagg_levels)
+            if aggregator is None:
+                return False
+            if self._obs is not None and self._obs.enabled:
+                aggregator.bind_obs(self._obs)
+            aggregator.backfill(rows)
+            new_slots[compiled_agg.slot] = aggregator
+        if set(new_slots) != set(old_slots):
+            return False
+        for aggregator in new_slots.values():
+            self._register_updater(self.compiled.plan.table,
+                                   aggregator.make_update_closure())
+        if table.row_count != before:
+            # An insert raced the registration: its closure snapshot may
+            # predate the new consumers.  Retire them and retry later —
+            # the old aggregators never stopped absorbing.
+            for aggregator in new_slots.values():
+                aggregator.retire()
+            return False
+        for aggregator in old_slots.values():
+            aggregator.retire()
+        self.preaggs[window_name] = new_slots
+        return True
+
+    def router_snapshot(self) -> Optional[Dict[str, Any]]:
+        """The router's calibrated state, for failover/migration."""
+        return self.router.state_snapshot() \
+            if self.router is not None else None
+
+    def restore_router(self, snapshot: Optional[Dict[str, Any]]) -> None:
+        """Warm-start this deployment's router from a snapshot."""
+        if self.router is not None and snapshot:
+            self.router.restore_state(snapshot)
+
+    @property
+    def adaptive(self) -> bool:
+        return self.router is not None
+
+    def adaptive_stats(self) -> Dict[str, Any]:
+        """Router + state summary for operators and the benches."""
+        stats: Dict[str, Any] = {}
+        if self.router is not None:
+            stats.update(self.router.stats())
+        stats["tracked_keys"] = {
+            name: state.key_count
+            for name, state in self.incrementals.items()}
+        stats["bucket_ms"] = {
+            name: next(iter(slots.values())).bucket_ms
+            for name, slots in self.preaggs.items() if slots}
+        return stats
 
     @property
     def uses_incremental(self) -> bool:

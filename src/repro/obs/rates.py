@@ -1,0 +1,170 @@
+"""Rate and moving-average helpers over monotonic measurements.
+
+The metrics registry's counters are monotonic totals — the right shape
+for exposition, the wrong shape for *decisions*.  The adaptive
+execution router (:mod:`repro.adaptive`) needs "how hot is this key
+right now", not "how many requests ever", so two small estimators live
+here:
+
+* :class:`Ewma` — an exponentially weighted moving average of observed
+  samples (per-block scan cost, incremental lookup cost).  Sample-count
+  weighted merge keeps per-tablet estimates combinable, mirroring the
+  registry's mergeable-histogram contract.
+* :class:`RateWindow` — a time-decayed event rate (the Unix load-average
+  construction): each recorded event adds weight 1, weight halves every
+  ``halflife_s`` seconds, and the rate is the decayed weight divided by
+  the mean lifetime ``halflife_s / ln 2``.  A silent series decays
+  toward zero instead of remembering its peak, which is exactly the
+  demotion signal a cold key should emit.
+
+Both take explicit ``now`` arguments everywhere so tests (and replayed
+decision logs) are deterministic; wall-clock reads happen only when the
+caller passes nothing.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any, Dict, Optional
+
+__all__ = ["Ewma", "RateWindow"]
+
+_LN2 = math.log(2.0)
+
+
+class Ewma:
+    """Exponentially weighted moving average of a sample stream.
+
+    Args:
+        alpha: weight of the newest sample; the first sample seeds the
+            average exactly (no bias toward zero).
+    """
+
+    __slots__ = ("alpha", "value", "samples")
+
+    def __init__(self, alpha: float = 0.2) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self.value: Optional[float] = None
+        self.samples = 0
+
+    def observe(self, sample: float) -> float:
+        """Fold one sample in; returns the updated average."""
+        if self.value is None:
+            self.value = float(sample)
+        else:
+            self.value += self.alpha * (sample - self.value)
+        self.samples += 1
+        return self.value
+
+    def get(self, default: float = 0.0) -> float:
+        """The current average, or ``default`` before any sample."""
+        return self.value if self.value is not None else default
+
+    def merge(self, other: "Ewma") -> None:
+        """Fold another estimator in, weighted by its sample count.
+
+        Merging an empty estimator is a no-op; merging *into* an empty
+        one adopts the other's state — so merge order never manufactures
+        a phantom zero sample.
+        """
+        if other.value is None:
+            return
+        if self.value is None:
+            self.value = other.value
+            self.samples = other.samples
+            return
+        total = self.samples + other.samples
+        self.value = (self.value * self.samples
+                      + other.value * other.samples) / total
+        self.samples = total
+
+    def state(self) -> Dict[str, Any]:
+        """Plain-data snapshot (survives failover serialization)."""
+        return {"alpha": self.alpha, "value": self.value,
+                "samples": self.samples}
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "Ewma":
+        ewma = cls(alpha=state.get("alpha", 0.2))
+        ewma.value = state.get("value")
+        ewma.samples = int(state.get("samples", 0))
+        return ewma
+
+
+class RateWindow:
+    """Time-decayed event rate from discrete event observations.
+
+    Args:
+        halflife_s: seconds for an event's weight to halve.  Short
+            half-lives react fast (request routing); long ones smooth
+            (capacity planning).
+    """
+
+    __slots__ = ("halflife_s", "_weight", "_stamp")
+
+    def __init__(self, halflife_s: float = 5.0) -> None:
+        if halflife_s <= 0.0:
+            raise ValueError("halflife_s must be positive")
+        self.halflife_s = halflife_s
+        self._weight = 0.0
+        self._stamp: Optional[float] = None
+
+    def _decay_to(self, now: float) -> None:
+        if self._stamp is None:
+            self._stamp = now
+            return
+        elapsed = now - self._stamp
+        if elapsed > 0.0:
+            self._weight *= 2.0 ** (-elapsed / self.halflife_s)
+            self._stamp = now
+
+    def record(self, count: float = 1.0,
+               now: Optional[float] = None) -> None:
+        """Record ``count`` events at time ``now`` (monotonic seconds)."""
+        now = time.monotonic() if now is None else now
+        self._decay_to(now)
+        self._weight += count
+
+    def rate(self, now: Optional[float] = None) -> float:
+        """Events per second, decayed to ``now``.
+
+        Zero before any event, and decaying toward zero through idle
+        gaps — a series that stops recording stops looking hot.
+        """
+        if self._stamp is None:
+            return 0.0
+        now = time.monotonic() if now is None else now
+        elapsed = max(now - self._stamp, 0.0)
+        decayed = self._weight * 2.0 ** (-elapsed / self.halflife_s)
+        return decayed * _LN2 / self.halflife_s
+
+    def merge(self, other: "RateWindow",
+              now: Optional[float] = None) -> None:
+        """Fold another window's decayed weight into this one.
+
+        Both sides decay to the common ``now`` first, so merging never
+        time-travels weight forward or backward.
+        """
+        if other._stamp is None:
+            return
+        now = time.monotonic() if now is None else now
+        self._decay_to(now)
+        elapsed = max(now - other._stamp, 0.0)
+        self._weight += other._weight * 2.0 ** (
+            -elapsed / other.halflife_s)
+        if self._stamp is None:
+            self._stamp = now
+
+    def state(self) -> Dict[str, Any]:
+        return {"halflife_s": self.halflife_s, "weight": self._weight,
+                "stamp": self._stamp}
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "RateWindow":
+        window = cls(halflife_s=state.get("halflife_s", 5.0))
+        window._weight = float(state.get("weight", 0.0))
+        window._stamp = state.get("stamp")
+        return window

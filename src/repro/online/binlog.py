@@ -52,14 +52,32 @@ class IngestConsumer:
     without slowing the insertion fast path.
     """
 
+    #: Set by :meth:`retire`; closures for a retired consumer become
+    #: no-ops.  A class attribute because subclasses define their own
+    #: ``__init__`` without calling up.
+    _retired = False
+
     def absorb(self, row: Tuple[Any, ...]) -> None:
         """Fold one table row into the consumer's state."""
         raise NotImplementedError
 
+    def retire(self) -> None:
+        """Permanently detach this consumer from the binlog.
+
+        Registered closures cannot be unregistered (they are already
+        baked into queued entries), so retirement flips a flag the
+        closure checks instead.  Used when the adaptive layer swaps a
+        pre-aggregator for one with different bucket widths: the old
+        instance stops consuming rows the moment the new one is
+        registered.
+        """
+        self._retired = True
+
     def make_update_closure(self) -> Callable[[BinlogEntry], None]:
         """Closure for :meth:`Replicator.append_entry` (``update_aggr``)."""
         def update_aggr(entry: BinlogEntry) -> None:
-            self.absorb(entry.row)
+            if not self._retired:
+                self.absorb(entry.row)
         return update_aggr
 
     def backfill(self, rows: Iterable[Tuple[Any, ...]]) -> int:

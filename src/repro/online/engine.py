@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import dataclasses
 import threading
+from time import perf_counter
 from typing import (Any, Dict, Iterator, List, Mapping, Optional, Sequence,
                     Tuple)
 
@@ -46,6 +47,11 @@ _COUNTER_FIELDS = ("rows_scanned", "scan_blocks", "preagg_bucket_merges",
                    "preagg_raw_rows", "join_lookups", "shared_scan_hits",
                    "incremental_hits", "incremental_fallbacks")
 
+#: Shared empty slot map for windows with no pre-aggregation — never
+#: mutated (the request path only iterates and membership-tests it), so
+#: every request can alias it instead of allocating a fresh dict.
+_NO_PREAGG: Dict[int, "PreAggregator"] = {}
+
 
 class _RequestCounters:
     """Per-request statistic deltas.
@@ -55,7 +61,7 @@ class _RequestCounters:
     for the racy ``stats.field += 1`` pattern under concurrent serving.
     """
 
-    __slots__ = _COUNTER_FIELDS
+    __slots__ = _COUNTER_FIELDS + ("incremental_windows",)
 
     def __init__(self) -> None:
         self.rows_scanned = 0
@@ -66,6 +72,14 @@ class _RequestCounters:
         self.shared_scan_hits = 0
         self.incremental_hits = 0
         self.incremental_fallbacks = 0
+        # (window name, hit?) events; lazily allocated — most requests
+        # either use no incremental state or should not pay a list.
+        self.incremental_windows: Optional[List[Tuple[str, bool]]] = None
+
+    def note_window(self, name: str, hit: bool) -> None:
+        if self.incremental_windows is None:
+            self.incremental_windows = []
+        self.incremental_windows.append((name, hit))
 
 
 @dataclasses.dataclass
@@ -85,6 +99,10 @@ class EngineStats:
     shared_scan_hits: int = 0
     incremental_hits: int = 0
     incremental_fallbacks: int = 0
+    #: window name → [hits, fallbacks] — which window is falling back,
+    #: not just that one is.  Read via :meth:`incremental_window_stats`.
+    incremental_by_window: Dict[str, List[int]] = dataclasses.field(
+        default_factory=dict)
     _lock: threading.Lock = dataclasses.field(
         default_factory=threading.Lock, repr=False, compare=False)
 
@@ -100,6 +118,18 @@ class EngineStats:
             self.shared_scan_hits += counters.shared_scan_hits
             self.incremental_hits += counters.incremental_hits
             self.incremental_fallbacks += counters.incremental_fallbacks
+            if counters.incremental_windows:
+                for name, hit in counters.incremental_windows:
+                    entry = self.incremental_by_window.get(name)
+                    if entry is None:
+                        entry = self.incremental_by_window[name] = [0, 0]
+                    entry[0 if hit else 1] += 1
+
+    def incremental_window_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-window incremental attribution, as a stable copy."""
+        with self._lock:
+            return {name: {"hits": entry[0], "fallbacks": entry[1]}
+                    for name, entry in self.incremental_by_window.items()}
 
 
 class OnlineEngine:
@@ -149,7 +179,8 @@ class OnlineEngine:
             self, compiled: CompiledQuery, request_row: Sequence[Any],
             preagg: Optional[Mapping[str, Mapping[int, PreAggregator]]] = None,
             shared_fetch: Optional[Dict[Any, List[List[Row]]]] = None,
-            incremental: Optional[Mapping[str, Any]] = None
+            incremental: Optional[Mapping[str, Any]] = None,
+            router: Optional[Any] = None
     ) -> Row:
         """Run one request tuple through a compiled deployment.
 
@@ -168,6 +199,13 @@ class OnlineEngine:
                 present here try the O(aggregates) hit path first and
                 fall back to a fused scan-fold when the state declines
                 (cold key, stale replication, out-of-order anchor).
+            router: optional
+                :class:`~repro.adaptive.ExecutionRouter`.  When set, the
+                router picks the execution tier per window (possibly
+                discarding the preagg/incremental fast paths in favour
+                of a scan) and every tier execution is timed to
+                calibrate its cost model.  Each tier computes identical
+                answers, so routing never changes results.
 
         Returns:
             The projected feature row.
@@ -179,7 +217,7 @@ class OnlineEngine:
         if self._obs.enabled:
             return self._execute_request_traced(compiled, request_row,
                                                 preagg, shared_fetch,
-                                                incremental)
+                                                incremental, router)
         deadline = current_deadline()
         plan = compiled.plan
         validated = plan.table_schema.validate_row(request_row)
@@ -211,37 +249,83 @@ class OnlineEngine:
             if deadline is not None:
                 deadline.check("request")
             canonical = compiled.merged_windows.get(name, name)
-            preagg_slots = dict(preagg.get(name, {})) if preagg else {}
+            slots_src = preagg.get(name) if preagg is not None else None
+            # Keyed by the window's own name: merged siblings share a
+            # scan but carry distinct aggregate slots.
+            state = incremental.get(name) \
+                if incremental is not None else None
+            router_key = None
+            if router is not None:
+                router_key = window.partition_key(validated)
+                router.note_request(name, router_key)
+                if slots_src:
+                    # The requested span informs bucket sizing whatever
+                    # tier ends up serving this request.
+                    router.observe_span(
+                        name, window.plan.range_preceding_ms or 0)
+                tier = router.decide(name, router_key,
+                                     has_incremental=state is not None,
+                                     has_preagg=bool(slots_src))
+                if tier != "preagg":
+                    slots_src = None
+                if tier == "scan":
+                    state = None
+            # Empty path: alias the shared immutable map instead of
+            # allocating a dict per window per request.
+            preagg_slots: Mapping[int, PreAggregator] = \
+                dict(slots_src) if slots_src else _NO_PREAGG
             raw_aggregates = [compiled_agg for compiled_agg
                               in window.aggregates
                               if compiled_agg.slot not in preagg_slots]
             if raw_aggregates or not preagg_slots:
                 results = None
-                if incremental is not None and not preagg_slots:
-                    # Keyed by the window's own name: merged siblings
-                    # share a scan but carry distinct aggregate slots.
-                    state = incremental.get(name)
-                    if state is not None:
+                if state is not None and not preagg_slots:
+                    if router is not None:
+                        started = perf_counter()
                         results = state.compute(validated)
-                        if results is not None:
-                            counters.incremental_hits += 1
-                        else:
-                            counters.incremental_fallbacks += 1
+                        router.observe_incremental(
+                            name, (perf_counter() - started) * 1_000.0,
+                            hit=results is not None)
+                    else:
+                        results = state.compute(validated)
+                    if results is not None:
+                        counters.incremental_hits += 1
+                        counters.note_window(name, hit=True)
+                    else:
+                        counters.incremental_fallbacks += 1
+                        counters.note_window(name, hit=False)
                 if results is None:
+                    scan_started = perf_counter() \
+                        if router is not None else 0.0
+                    blocks_before = counters.scan_blocks
                     if canonical not in fetched:
                         fetched[canonical] = self._window_blocks(
                             compiled, window, validated, counters,
                             shared_fetch, canonical)
                     results = self._fold_window(window, fetched[canonical])
+                    if router is not None:
+                        router.observe_scan(
+                            name, router_key,
+                            (perf_counter() - scan_started) * 1_000.0,
+                            counters.scan_blocks - blocks_before)
                 for slot, value in results.items():
                     if slot not in preagg_slots:
                         aggregate_values[slot] = value
-            for slot, aggregator in preagg_slots.items():
-                aggregate_values[slot] = self._preagg_value(
-                    compiled, window, aggregator, validated, counters)
+            if preagg_slots:
+                preagg_started = perf_counter() \
+                    if router is not None else 0.0
+                for slot, aggregator in preagg_slots.items():
+                    aggregate_values[slot] = self._preagg_value(
+                        compiled, window, aggregator, validated, counters)
+                if router is not None:
+                    router.observe_preagg(
+                        name,
+                        (perf_counter() - preagg_started) * 1_000.0)
         extended = combined_tuple + tuple(aggregate_values)
         projected = compiled.project(extended)
         self.stats.apply(counters)
+        if router is not None:
+            router.after_request()
         return projected
 
     # ------------------------------------------------------------------
@@ -251,7 +335,8 @@ class OnlineEngine:
             self, compiled: CompiledQuery, request_row: Sequence[Any],
             preagg: Optional[Mapping[str, Mapping[int, PreAggregator]]],
             shared_fetch: Optional[Dict[Any, List[List[Row]]]] = None,
-            incremental: Optional[Mapping[str, Any]] = None
+            incremental: Optional[Mapping[str, Any]] = None,
+            router: Optional[Any] = None
     ) -> Row:
         """:meth:`execute_request` with per-stage spans and metrics.
 
@@ -292,29 +377,63 @@ class OnlineEngine:
             if deadline is not None:
                 deadline.check("request")
             canonical = compiled.merged_windows.get(name, name)
-            preagg_slots = dict(preagg.get(name, {})) if preagg else {}
+            slots_src = preagg.get(name) if preagg is not None else None
+            state = incremental.get(name) \
+                if incremental is not None else None
+            router_key = None
+            if router is not None:
+                router_key = window.partition_key(validated)
+                router.note_request(name, router_key)
+                if slots_src:
+                    # The requested span informs bucket sizing whatever
+                    # tier ends up serving this request.
+                    router.observe_span(
+                        name, window.plan.range_preceding_ms or 0)
+                with tracer.span("router.decide", window=name) as span:
+                    tier = router.decide(name, router_key,
+                                         has_incremental=state is not None,
+                                         has_preagg=bool(slots_src))
+                    span.set_tag(tier=tier)
+                if tier != "preagg":
+                    slots_src = None
+                if tier == "scan":
+                    state = None
+            # Empty path: alias the shared immutable map instead of
+            # allocating a dict per window per request.
+            preagg_slots: Mapping[int, PreAggregator] = \
+                dict(slots_src) if slots_src else _NO_PREAGG
             raw_aggregates = [compiled_agg for compiled_agg
                               in window.aggregates
                               if compiled_agg.slot not in preagg_slots]
             if raw_aggregates or not preagg_slots:
                 results = None
-                if incremental is not None and not preagg_slots:
-                    state = incremental.get(name)
-                    if state is not None:
-                        with tracer.span("incremental.lookup",
-                                         window=name) as span:
+                if state is not None and not preagg_slots:
+                    with tracer.span("incremental.lookup",
+                                     window=name) as span:
+                        if router is not None:
+                            started = perf_counter()
                             results = state.compute(validated)
-                            span.set_tag(hit=results is not None)
-                        if results is not None:
-                            counters.incremental_hits += 1
-                            self._m_incr_hits.inc()
+                            router.observe_incremental(
+                                name,
+                                (perf_counter() - started) * 1_000.0,
+                                hit=results is not None)
                         else:
-                            counters.incremental_fallbacks += 1
-                            self._m_incr_fallbacks.inc()
+                            results = state.compute(validated)
+                        span.set_tag(hit=results is not None)
+                    if results is not None:
+                        counters.incremental_hits += 1
+                        counters.note_window(name, hit=True)
+                        self._m_incr_hits.inc()
+                    else:
+                        counters.incremental_fallbacks += 1
+                        counters.note_window(name, hit=False)
+                        self._m_incr_fallbacks.inc()
                 if results is None:
+                    scan_started = perf_counter() \
+                        if router is not None else 0.0
+                    blocks_before = counters.scan_blocks
                     if canonical not in fetched:
                         scanned_before = counters.rows_scanned
-                        blocks_before = counters.scan_blocks
                         with tracer.span("window.scan", window=name) as span:
                             fetched[canonical] = self._window_blocks(
                                 compiled, window, validated, counters,
@@ -331,29 +450,44 @@ class OnlineEngine:
                                      rows=sum(len(block)
                                               for block in blocks)):
                         results = self._fold_window(window, blocks)
+                    if router is not None:
+                        router.observe_scan(
+                            name, router_key,
+                            (perf_counter() - scan_started) * 1_000.0,
+                            counters.scan_blocks - blocks_before)
                 for slot, value in results.items():
                     if slot not in preagg_slots:
                         aggregate_values[slot] = value
-            for slot, aggregator in preagg_slots.items():
-                merges_before = counters.preagg_bucket_merges
-                raw_before = counters.preagg_raw_rows
-                with tracer.span("preagg.lookup", window=name,
-                                 func=aggregator.func_name) as span:
-                    aggregate_values[slot] = self._preagg_value(
-                        compiled, window, aggregator, validated, counters)
-                    span.set_tag(
-                        bucket_merges=(counters.preagg_bucket_merges
-                                       - merges_before),
-                        raw_rows=counters.preagg_raw_rows - raw_before)
-                self._m_preagg_merges.inc(
-                    counters.preagg_bucket_merges - merges_before)
-                self._m_preagg_raw.inc(
-                    counters.preagg_raw_rows - raw_before)
+            if preagg_slots:
+                preagg_started = perf_counter() \
+                    if router is not None else 0.0
+                for slot, aggregator in preagg_slots.items():
+                    merges_before = counters.preagg_bucket_merges
+                    raw_before = counters.preagg_raw_rows
+                    with tracer.span("preagg.lookup", window=name,
+                                     func=aggregator.func_name) as span:
+                        aggregate_values[slot] = self._preagg_value(
+                            compiled, window, aggregator, validated,
+                            counters)
+                        span.set_tag(
+                            bucket_merges=(counters.preagg_bucket_merges
+                                           - merges_before),
+                            raw_rows=counters.preagg_raw_rows - raw_before)
+                    self._m_preagg_merges.inc(
+                        counters.preagg_bucket_merges - merges_before)
+                    self._m_preagg_raw.inc(
+                        counters.preagg_raw_rows - raw_before)
+                if router is not None:
+                    router.observe_preagg(
+                        name,
+                        (perf_counter() - preagg_started) * 1_000.0)
         extended = combined_tuple + tuple(aggregate_values)
         with tracer.span("encode"):
             projected = compiled.project(extended)
         self._m_join_lookups.inc(len(compiled.joins))
         self.stats.apply(counters)
+        if router is not None:
+            router.after_request()
         return projected
 
     # ------------------------------------------------------------------

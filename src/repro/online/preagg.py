@@ -207,6 +207,11 @@ class PreAggregator(IngestConsumer):
         self._m_bucket_merges = metrics.counter("preagg.bucket_merges")
 
     @property
+    def bucket_ms(self) -> int:
+        """Base-level bucket width (the knob the adaptive layer tunes)."""
+        return self.level_sizes[0]
+
+    @property
     def function(self) -> AggregateFunction:
         """The maintained aggregate (engines merge raw edges through it)."""
         return self._function
