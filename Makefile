@@ -2,7 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test lint verify verify-docs bench bench-smoke recover-smoke \
-	offline-smoke elastic-smoke adaptive-smoke examples profile
+	offline-smoke elastic-smoke adaptive-smoke slo-smoke examples \
+	profile
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -21,7 +22,7 @@ lint:
 	fi
 
 verify: lint test recover-smoke offline-smoke elastic-smoke \
-	adaptive-smoke bench-smoke
+	adaptive-smoke slo-smoke bench-smoke
 
 # Extract and execute every fenced python block in README.md and
 # docs/*.md — documentation code must actually run.
@@ -59,6 +60,14 @@ elastic-smoke:
 # static twin.
 adaptive-smoke:
 	$(PYTHON) -m pytest tests/test_adaptive.py -q -k smoke
+
+# Tiny target-QPS run over the ad CTR workload: the paced-load SLO
+# search must find a sustained rate inside the latency budget.  Also
+# runs the streaming skew smoke (byte-identical train/serve vectors
+# for both new workloads).
+slo-smoke:
+	$(PYTHON) -m pytest tests/test_slo.py tests/test_streams.py -q \
+		-k smoke
 
 examples:
 	for script in examples/*.py; do $(PYTHON) $$script || exit 1; done

@@ -15,6 +15,13 @@ __all__ = ["build_openmldb", "openmldb_for_config", "record_bench"]
 BENCH_RESULTS_PATH = \
     pathlib.Path(__file__).resolve().parent.parent / "BENCH_online.json"
 
+#: Installed by ``benchmarks/conftest.py``: called with the figure name
+#: before anything is written, and expected to raise if any harness
+#: result produced by the current test was unfit to record (e.g. a
+#: ``ClosedLoopResult`` that timed out — its qps describes a partial
+#: run and must never become a headline number).
+_result_guard = None
+
 
 def record_bench(figure, **medians):
     """Persist one figure's median measurements to ``BENCH_online.json``.
@@ -24,6 +31,8 @@ def record_bench(figure, **medians):
     so successive runs (including ``make bench-smoke``) accumulate one
     comparable record per figure for regression tracking.
     """
+    if _result_guard is not None:
+        _result_guard(figure)
     try:
         results = json.loads(BENCH_RESULTS_PATH.read_text())
         if not isinstance(results, dict):

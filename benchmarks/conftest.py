@@ -21,9 +21,44 @@ import pytest
 # benchmarks only need the library itself.
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
+import _util  # noqa: E402
 from _util import build_openmldb  # noqa: E402
+from repro.bench import harness
 from repro.workloads.microbench import (MicroBenchConfig, build_feature_sql,
                                         generate)
+
+
+@pytest.fixture(autouse=True)
+def guard_recorded_results():
+    """Refuse to record figures built on timed-out harness runs.
+
+    Every :func:`~repro.bench.closed_loop` / paced-loop result produced
+    while a benchmark test runs is observed here; if any was marked
+    ``timed_out`` (a straggler survived ``join_timeout``, so latencies
+    and qps describe a *partial* run), ``record_bench`` raises instead
+    of writing the figure into ``BENCH_online.json``.  Benchmark files
+    bind ``record_bench`` by value at import time, so the hook lives
+    inside ``_util.record_bench`` itself rather than a monkeypatch.
+    """
+    unfit = []
+
+    def observe(result):
+        if getattr(result, "timed_out", False):
+            unfit.append(result)
+
+    def guard(figure):
+        assert not unfit, (
+            f"refusing to record {figure!r}: {len(unfit)} harness "
+            f"result(s) timed out — partial latencies/qps must not "
+            f"become recorded medians")
+
+    harness.result_observers.append(observe)
+    _util._result_guard = guard
+    try:
+        yield
+    finally:
+        harness.result_observers.remove(observe)
+        _util._result_guard = None
 
 
 @pytest.fixture(scope="session")

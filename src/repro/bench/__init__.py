@@ -4,10 +4,12 @@ from .harness import (ClosedLoopResult, LatencyStats, closed_loop,
                       measure_latencies, measure_throughput,
                       print_series, print_stage_breakdown, print_table,
                       speedup, stage_breakdown)
+from .slo import PacedResult, SLOReport, SLOStep, paced_loop, slo_search
 
 __all__ = [
     "LatencyStats", "measure_latencies", "measure_throughput",
     "print_table", "print_series", "speedup",
     "stage_breakdown", "print_stage_breakdown",
     "ClosedLoopResult", "closed_loop",
+    "PacedResult", "paced_loop", "SLOStep", "SLOReport", "slo_search",
 ]

@@ -81,14 +81,23 @@ def measure_latencies(operation: Callable[[Any], Any],
 
 def measure_throughput(operation: Callable[[Any], Any],
                        inputs: Iterable[Any]) -> float:
-    """Operations per second over the full input stream."""
+    """Operations per second over the full input stream.
+
+    Raises:
+        ValueError: the clock measured zero elapsed time — a broken
+            clock or an empty measurement must not report infinite
+            throughput (an ``inf`` silently wins every comparison a
+            benchmark makes).
+    """
     items = list(inputs)
     started = time.perf_counter()
     for item in items:
         operation(item)
     elapsed = time.perf_counter() - started
     if elapsed <= 0:
-        return float("inf")
+        raise ValueError(
+            f"measure_throughput: non-positive elapsed time ({elapsed}s "
+            f"over {len(items)} operations); cannot report a rate")
     return len(items) / elapsed
 
 
@@ -96,6 +105,9 @@ def measure_throughput(operation: Callable[[Any], Any],
 class ClosedLoopResult:
     """Outcome of one :func:`closed_loop` run."""
 
+    #: Barrier release to the last client finishing its call loop —
+    #: setup, teardown, and any straggler ``join`` wait are excluded
+    #: (a timed-out run must not fold idle join waiting into ``qps``).
     wall_seconds: float
     latencies: List[float]          # per-success latency, seconds
     errors: List[BaseException]     # exceptions raised by ``call``
@@ -111,11 +123,27 @@ class ClosedLoopResult:
     @property
     def qps(self) -> float:
         if self.wall_seconds <= 0:
-            return float("inf")
+            raise ValueError(
+                f"qps undefined: wall_seconds={self.wall_seconds} "
+                "(no measured wall-clock interval)")
         return self.completed / self.wall_seconds
 
     def stats(self) -> LatencyStats:
         return LatencyStats.from_seconds(self.latencies)
+
+
+#: Callables invoked with every result the closed-loop drivers return
+#: (:func:`closed_loop` here, ``paced_loop`` in :mod:`repro.bench.slo`).
+#: A tooling hook, not a metrics channel: ``benchmarks/conftest.py``
+#: registers an observer so ``record_bench`` can refuse to persist
+#: medians from a run that timed out.
+result_observers: List[Callable[[Any], None]] = []
+
+
+def _notify_observers(result: Any) -> Any:
+    for observer in list(result_observers):
+        observer(result)
+    return result
 
 
 def closed_loop(clients: int, iters: int,
@@ -128,7 +156,9 @@ def closed_loop(clients: int, iters: int,
     Each thread issues ``iters`` sequential calls (the next one starts
     when the previous returns — the serving benchmarks' load model).
     All threads release from a barrier together, so the wall clock
-    measures steady concurrent load, not thread start-up skew.
+    measures steady concurrent load, not thread start-up skew:
+    ``wall_seconds`` runs from barrier release to the last client
+    finishing its call loop.
 
     The first argument to ``call(ctx, i)`` is the thread's context:
     the client index by default, or whatever ``setup(cid)`` returned —
@@ -140,6 +170,14 @@ def closed_loop(clients: int, iters: int,
     a latency sample; the thread carries on.  Setup/teardown run
     outside the timed region.
 
+    A ``setup(cid)`` that raises **aborts the whole run immediately**:
+    the barrier is broken so no sibling blocks waiting for a client
+    that will never arrive, the exception lands in ``errors``, and
+    ``teardown`` runs only for contexts that were actually created.
+    (The old behaviour — the thread died before ``barrier.wait()`` and
+    every other client stalled until ``join_timeout`` — turned one
+    bad connection into a two-minute hang.)
+
     If any client thread is still running after ``join_timeout`` the
     result is marked ``timed_out`` and a ``TimeoutError`` is appended to
     ``errors`` — a partial run must fail loudly, not masquerade as a
@@ -148,14 +186,29 @@ def closed_loop(clients: int, iters: int,
     barrier = threading.Barrier(clients)
     latencies: List[float] = []
     errors: List[BaseException] = []
+    release_times: List[float] = []
+    finish_times: List[float] = []
     lock = threading.Lock()
 
     def run(cid: int) -> None:
         context: Any = cid
-        if setup is not None:
-            context = setup(cid)
+        created = setup is None
         try:
-            barrier.wait()
+            if setup is not None:
+                try:
+                    context = setup(cid)
+                    created = True
+                except Exception as exc:
+                    with lock:
+                        errors.append(exc)
+                    barrier.abort()
+                    return
+            try:
+                barrier.wait()
+            except threading.BrokenBarrierError:
+                return  # a sibling's setup failed; nothing to measure
+            with lock:
+                release_times.append(time.perf_counter())
             for index in range(iters):
                 begin = time.perf_counter()
                 try:
@@ -168,8 +221,14 @@ def closed_loop(clients: int, iters: int,
                 with lock:
                     latencies.append(elapsed)
         finally:
-            if teardown is not None:
-                teardown(context)
+            with lock:
+                finish_times.append(time.perf_counter())
+            if teardown is not None and created:
+                try:
+                    teardown(context)
+                except Exception as exc:
+                    with lock:
+                        errors.append(exc)
 
     threads = [threading.Thread(target=run, args=(cid,), daemon=True)
                for cid in range(clients)]
@@ -185,10 +244,16 @@ def closed_loop(clients: int, iters: int,
             f"closed_loop: {len(stragglers)}/{clients} client thread(s) "
             f"still running after join_timeout={join_timeout}s; "
             "latencies are partial"))
-    return ClosedLoopResult(
-        wall_seconds=time.perf_counter() - wall_start,
+    # Wall clock of the *measured* region: barrier release to the last
+    # client that finished.  Stamping after the straggler join used to
+    # fold up to join_timeout seconds of idle waiting into qps.
+    with lock:
+        started = min(release_times) if release_times else wall_start
+        ended = max(finish_times) if finish_times else time.perf_counter()
+    return _notify_observers(ClosedLoopResult(
+        wall_seconds=max(ended - started, 0.0),
         latencies=latencies, errors=errors,
-        timed_out=bool(stragglers))
+        timed_out=bool(stragglers)))
 
 
 def speedup(baseline_seconds: float, optimized_seconds: float) -> float:

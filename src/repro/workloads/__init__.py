@@ -1,7 +1,10 @@
 """Workload generators for the evaluation (paper Section 9.1)."""
 
+from . import adctr, iot
+from .adctr import AdCTRConfig
 from .febench import (FEBenchConfig, TRIP_INDEX, TRIP_SCHEMA, feature_sql,
                       generate_trips)
+from .iot import IoTConfig
 from .glq import (GLQConfig, GLQResult, GridGLQEngine, RouteResult,
                   SparkGLQEngine, generate_points, radius_for_n,
                   route_for_n)
@@ -17,4 +20,5 @@ __all__ = [
     "GridGLQEngine", "SparkGLQEngine", "generate_points", "radius_for_n",
     "route_for_n", "FEBenchConfig", "TRIP_SCHEMA", "TRIP_INDEX",
     "generate_trips", "feature_sql",
+    "adctr", "AdCTRConfig", "iot", "IoTConfig",
 ]

@@ -5,9 +5,11 @@ import time
 
 import pytest
 
-from repro.bench.harness import (LatencyStats, closed_loop,
-                                 measure_latencies, measure_throughput,
-                                 print_series, print_table, speedup)
+from repro.bench import harness
+from repro.bench.harness import (ClosedLoopResult, LatencyStats,
+                                 closed_loop, measure_latencies,
+                                 measure_throughput, print_series,
+                                 print_table, speedup)
 
 
 class TestLatencyStats:
@@ -104,6 +106,96 @@ class TestClosedLoop:
         assert result.timed_out
         assert elapsed < 0.3 * 4  # far below per-thread accumulation
         time.sleep(0.05)
+
+    def test_failing_setup_surfaces_immediately(self):
+        # Regression: a raising setup used to leave the other clients
+        # parked on the start barrier until join_timeout — a silent
+        # multi-minute stall.  Now the barrier is aborted, the run
+        # returns at once, and the exception is in ``errors``.
+        started = time.perf_counter()
+
+        def bad_setup(cid):
+            if cid == 1:
+                raise RuntimeError("connection refused")
+            return cid
+
+        result = closed_loop(4, 1_000, lambda ctx, i: None,
+                             setup=bad_setup, join_timeout=60.0)
+        assert time.perf_counter() - started < 2.0  # not 60s
+        assert not result.timed_out
+        assert any("connection refused" in str(e) for e in result.errors)
+        # No client got past the barrier, so no work was measured.
+        assert result.completed == 0
+
+    def test_teardown_only_for_created_contexts(self):
+        # Clients whose setup raised must NOT be torn down (their
+        # context was never created); clients whose setup succeeded
+        # before the abort must be.
+        torn = []
+
+        def setup(cid):
+            if cid == 0:
+                return "ctx0"
+            raise RuntimeError("boom")
+
+        closed_loop(2, 10, lambda ctx, i: None,
+                    setup=setup, teardown=torn.append)
+        assert torn in ([], ["ctx0"])  # never a raw cid / None
+        assert "boom" not in torn
+
+    def test_teardown_errors_are_recorded(self):
+        def bad_teardown(ctx):
+            raise RuntimeError("cleanup failed")
+
+        result = closed_loop(2, 2, lambda ctx, i: None,
+                             setup=lambda cid: cid,
+                             teardown=bad_teardown)
+        assert not result.timed_out
+        assert sum("cleanup failed" in str(e)
+                   for e in result.errors) == 2
+        assert result.completed == 4  # the measured work still counts
+
+    def test_wall_seconds_excludes_straggler_join_idle(self):
+        # Regression: wall_seconds was stamped after the join loop, so
+        # a straggler blocked on something external inflated the
+        # denominator and deflated qps.  It must now cover barrier
+        # release → last *finished* client only.
+        release = threading.Event()
+
+        def call(cid, i):
+            if cid == 0:
+                release.wait(timeout=30)  # never finishes in time
+            # others return instantly
+
+        result = closed_loop(4, 1, call, join_timeout=0.5)
+        release.set()
+        assert result.timed_out
+        # Three clients finished within milliseconds; the 0.5s the
+        # harness then spent waiting on the straggler must not count.
+        assert result.wall_seconds < 0.4
+        time.sleep(0.05)
+
+    def test_qps_rejects_zero_wall(self):
+        result = ClosedLoopResult(wall_seconds=0.0, latencies=[],
+                                  errors=[])
+        with pytest.raises(ValueError, match="qps undefined"):
+            result.qps
+
+    def test_measure_throughput_rejects_zero_elapsed(self, monkeypatch):
+        # Regression: a frozen clock used to yield a silent
+        # float("inf") rate that poisoned downstream speedup tables.
+        monkeypatch.setattr(harness.time, "perf_counter", lambda: 5.0)
+        with pytest.raises(ValueError, match="non-positive elapsed"):
+            measure_throughput(lambda item: None, [1, 2, 3])
+
+    def test_result_observers_see_every_result(self):
+        seen = []
+        harness.result_observers.append(seen.append)
+        try:
+            result = closed_loop(2, 3, lambda ctx, i: None)
+        finally:
+            harness.result_observers.remove(seen.append)
+        assert seen == [result]
 
 
 class TestPrinting:

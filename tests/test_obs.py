@@ -1,6 +1,8 @@
 """Tests for the observability layer (repro.obs) and its wiring."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import OpenMLDB
 from repro.cluster import NameServer, TabletServer
@@ -70,6 +72,121 @@ class TestHistogram:
         assert left.max == combined.max
         for p in (50, 95, 99):
             assert left.percentile(p) == combined.percentile(p)
+
+
+#: Millisecond samples spanning the whole layout: sub-microsecond,
+#: every log bucket, and past the top bound (the overflow slot).
+_SAMPLES = st.lists(
+    st.floats(min_value=0.0, max_value=BUCKET_BOUNDS_MS[-1] * 4,
+              allow_nan=False, allow_infinity=False),
+    max_size=60)
+_PERCENTILES = st.floats(min_value=0.0, max_value=100.0,
+                         allow_nan=False)
+
+
+class TestHistogramProperties:
+    """Property tests: mergeability is *exact*, not approximate.
+
+    The fixed log-bucket layout makes per-bucket counts additive, so a
+    merged histogram must answer every percentile identically to one
+    that observed the union directly — that exactness is what lets
+    offline pool workers ship state dicts instead of raw samples.
+    """
+
+    @given(left=_SAMPLES, right=_SAMPLES, p=_PERCENTILES)
+    @settings(deadline=None, max_examples=150)
+    def test_merged_percentiles_equal_union_percentiles(
+            self, left, right, p):
+        one, other, union = (Histogram("h") for _ in range(3))
+        for value in left:
+            one.observe(value)
+            union.observe(value)
+        for value in right:
+            other.observe(value)
+            union.observe(value)
+        one.merge_state(other.state())
+        assert one.counts == union.counts
+        assert one.percentile(p) == union.percentile(p)
+        assert one.min == union.min and one.max == union.max
+
+    @given(samples=_SAMPLES, p=_PERCENTILES)
+    @settings(deadline=None, max_examples=150)
+    def test_percentile_bounded_and_at_bucket_resolution(
+            self, samples, p):
+        histogram = Histogram("h")
+        for value in samples:
+            histogram.observe(value)
+        result = histogram.percentile(p)
+        if not samples:
+            assert result == 0.0
+            return
+        # Never below the true minimum's bucket, never above the
+        # observed max, and p=100 is exactly the max.
+        assert result <= max(samples)
+        assert histogram.percentile(100) == max(samples)
+        # Power-of-two layout: the reported quantile is the holding
+        # bucket's upper bound (clamped to max) — at most 2x the true
+        # quantile for in-range values.
+        ordered = sorted(samples)
+        target = max(1, int(p / 100.0 * len(ordered) + 0.9999))
+        true_quantile = ordered[target - 1]
+        if 0 < true_quantile <= BUCKET_BOUNDS_MS[-1]:
+            assert result <= max(true_quantile * 2, BUCKET_BOUNDS_MS[0])
+
+    @given(samples=_SAMPLES)
+    @settings(deadline=None, max_examples=100)
+    def test_percentile_is_monotone_in_p(self, samples):
+        histogram = Histogram("h")
+        for value in samples:
+            histogram.observe(value)
+        results = [histogram.percentile(p)
+                   for p in (0, 25, 50, 75, 90, 99, 99.9, 100)]
+        assert results == sorted(results)
+
+    @given(value=st.floats(min_value=0.0,
+                           max_value=BUCKET_BOUNDS_MS[-1] * 4,
+                           allow_nan=False, allow_infinity=False),
+           p=_PERCENTILES)
+    @settings(deadline=None, max_examples=100)
+    def test_single_sample_answers_itself_everywhere(self, value, p):
+        histogram = Histogram("h")
+        histogram.observe(value)
+        assert histogram.percentile(p) == value
+
+    @given(samples=st.lists(
+        st.floats(min_value=BUCKET_BOUNDS_MS[-1] * 1.001,
+                  max_value=BUCKET_BOUNDS_MS[-1] * 100,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=20))
+    @settings(deadline=None, max_examples=100)
+    def test_above_top_bucket_reports_observed_max(self, samples):
+        # Overflow samples share one slot; the only honest answer for
+        # any quantile landing there is the tracked exact max.
+        histogram = Histogram("h")
+        for value in samples:
+            histogram.observe(value)
+        for p in (50, 99, 100):
+            assert histogram.percentile(p) == max(samples)
+
+    @given(left=_SAMPLES, right=_SAMPLES)
+    @settings(deadline=None, max_examples=100)
+    def test_merge_state_roundtrips_through_plain_data(
+            self, left, right):
+        import pickle
+        one, union = Histogram("h"), Histogram("h")
+        for value in left:
+            one.observe(value)
+            union.observe(value)
+        other = Histogram("h")
+        for value in right:
+            other.observe(value)
+            union.observe(value)
+        # state() must pickle (it crosses process boundaries in the
+        # offline pool) and merge back exactly.
+        one.merge_state(pickle.loads(pickle.dumps(other.state())))
+        assert one.counts == union.counts
+        assert one.count == union.count
+        assert one.percentile(99) == union.percentile(99)
 
 
 class TestRegistry:

@@ -8,6 +8,10 @@ from repro.workloads.microbench import (MicroBenchConfig, build_feature_sql,
                                         generate)
 from repro.workloads.rtp import RTPConfig, generate_events
 from repro.workloads.talkingdata import TalkingDataConfig, generate_clicks
+from repro.workloads import adctr, iot
+from repro.workloads.adctr import AdCTRConfig, generate_impressions
+from repro.workloads.iot import IoTConfig, generate_readings
+from repro import OpenMLDB
 from repro.errors import ExecutionError
 
 
@@ -150,3 +154,116 @@ class TestGLQ:
         result = grid.query((0.0, 0.0), 1.0)
         assert result.count == 0
         assert result.nearest is None
+
+
+class TestAdCTR:
+    def test_deterministic(self):
+        config = AdCTRConfig(events=500)
+        assert list(generate_impressions(config)) \
+            == list(generate_impressions(config))
+
+    def test_schema_shape_and_types(self):
+        config = AdCTRConfig(events=300)
+        for row in generate_impressions(config):
+            assert len(row) == len(adctr.SCHEMA.columns)
+            campaign, ts, advertiser, slot, cost, click = row
+            assert campaign.startswith("cmp")
+            assert isinstance(ts, int) and ts >= config.start_ts
+            assert isinstance(cost, int) and cost > 0
+            assert click in (0, 1)
+
+    def test_heavy_hitters_dominate(self):
+        config = AdCTRConfig(campaigns=200, heavy_hitters=4,
+                             hot_fraction=0.7, events=4_000)
+        rows = list(generate_impressions(config))
+        hot = {f"cmp{i:06d}" for i in range(4)}
+        hot_share = sum(r[0] in hot for r in rows) / len(rows)
+        assert 0.6 < hot_share < 0.8
+        # And the head clicks better than the tail.
+        ctr = lambda picked: (  # noqa: E731
+            sum(r[5] for r in picked) / len(picked))
+        assert ctr([r for r in rows if r[0] in hot]) \
+            > ctr([r for r in rows if r[0] not in hot])
+
+    def test_requests_hit_the_same_keyspace(self):
+        config = AdCTRConfig(campaigns=50, events=100)
+        keys = {r[0] for r in generate_impressions(config)}
+        for request in adctr.generate_requests(config, requests=200):
+            assert request[0].startswith("cmp")
+            assert int(request[0][3:]) < config.campaigns
+        assert keys  # impressions exist to serve against
+
+    def test_feature_sql_deploys_and_serves(self):
+        db = OpenMLDB()
+        db.create_table(adctr.TABLE, adctr.SCHEMA,
+                        indexes=[adctr.INDEX])
+        db.deploy("ctr", adctr.feature_sql())
+        config = AdCTRConfig(campaigns=20, events=400)
+        for row in generate_impressions(config):
+            db.insert(adctr.TABLE, row)
+        db.flush_preagg()
+        request = next(iter(adctr.generate_requests(config, requests=1)))
+        vector = db.request_row("ctr", request)
+        assert vector[0] == request[0] and vector[1] == request[1]
+        assert len(vector) == 12  # 2 passthrough + 10 aggregates
+        db.close()
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            AdCTRConfig(heavy_hitters=0)
+        with pytest.raises(ValueError):
+            AdCTRConfig(campaigns=5, heavy_hitters=6)
+        with pytest.raises(ValueError):
+            AdCTRConfig(hot_fraction=1.5)
+
+
+class TestIoT:
+    def test_deterministic(self):
+        config = IoTConfig(devices=100, readings=500)
+        assert list(generate_readings(config)) \
+            == list(generate_readings(config))
+
+    def test_schema_shape_and_integer_readings(self):
+        config = IoTConfig(devices=50, readings=300)
+        for row in generate_readings(config):
+            assert len(row) == len(iot.SCHEMA.columns)
+            device, ts, site, temp_dc, battery_bp, pulses = row
+            assert device.startswith("dev") and site.startswith("site")
+            # Integer telemetry is what keeps long-window folds exact.
+            assert isinstance(temp_dc, int)
+            assert isinstance(battery_bp, int)
+            assert isinstance(pulses, int)
+
+    def test_breadth_over_depth(self):
+        config = IoTConfig(devices=2_000, readings=6_000)
+        rows = list(generate_readings(config))
+        per_device = {}
+        for row in rows:
+            per_device[row[0]] = per_device.get(row[0], 0) + 1
+        # Many keys, each sparse: no device hoards the stream.
+        assert len(per_device) > 1_500
+        assert max(per_device.values()) <= 12
+
+    def test_timestamps_monotone_nondecreasing(self):
+        config = IoTConfig(devices=100, readings=500)
+        stamps = [r[1] for r in generate_readings(config)]
+        assert stamps == sorted(stamps)
+
+    def test_feature_sql_serves_with_long_windows(self):
+        db = OpenMLDB()
+        db.create_table(iot.TABLE, iot.SCHEMA, indexes=[iot.INDEX])
+        db.deploy("fleet", iot.feature_sql(),
+                  long_windows=iot.LONG_WINDOWS)
+        config = IoTConfig(devices=30, readings=600)
+        for row in generate_readings(config):
+            db.insert(iot.TABLE, row)
+        db.flush_preagg()
+        request = next(iter(iot.generate_requests(config, requests=1)))
+        vector = db.request_row("fleet", request)
+        assert vector[0] == request[0] and vector[1] == request[1]
+        assert len(vector) == 11  # 2 passthrough + 9 aggregates
+        db.close()
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            IoTConfig(devices=0)
